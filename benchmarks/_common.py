@@ -1,0 +1,46 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one paper artifact (a table or figure), prints
+a paper-vs-measured report, and writes it under ``benchmarks/results/``
+so EXPERIMENTS.md can be assembled from the files.
+
+The ``REPRO_BENCH_PRESET`` environment variable selects the workload
+scale: ``quick`` (default — minutes, the sizes CI runs) or ``full``
+(the sizes EXPERIMENTS.md reports).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def preset() -> str:
+    value = os.environ.get("REPRO_BENCH_PRESET", "quick")
+    if value not in ("quick", "full"):
+        raise ValueError(f"REPRO_BENCH_PRESET must be quick|full, got {value}")
+    return value
+
+
+def trials() -> int:
+    """Programming cycles to average over.
+
+    The paper averages 5; the quick preset uses 1 so the whole suite
+    regenerates every artifact in well under an hour on one CPU.
+    """
+    return 5 if preset() == "full" else 1
+
+
+def report(name: str, lines) -> str:
+    """Print a report and persist it to benchmarks/results/<name>.txt."""
+    text = "\n".join(lines) if not isinstance(lines, str) else lines
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}")
+    return text
+
+
+def fmt_pct(x: float) -> str:
+    return f"{x:7.2%}"

@@ -1,0 +1,48 @@
+"""Extension: stuck-at faults on top of variation.
+
+The paper contrasts its digital offsets with per-device SAF
+compensation (Zhang & Hu, ASP-DAC'20), arguing group-shared offsets are
+cheaper. This bench quantifies how much SAF damage the offset machinery
+absorbs *in addition to* the variation it was designed for: LeNet under
+sigma=0.5 with increasing SAF rates, plain vs VAWO*+PWT.
+"""
+
+from _common import fmt_pct, preset, report, trials
+
+from repro.core.pipeline import DeployConfig, Deployer
+from repro.eval.accuracy import evaluate_deployment
+from repro.eval.experiments import _default_pwt, build_workload
+
+
+def run():
+    wl = build_workload("lenet", preset=preset(), seed=0)
+    rates = ((0.0, 0.0), (0.05, 0.01), (0.10, 0.02))
+    grid = {}
+    for saf in rates:
+        for method in ("plain", "vawo*+pwt"):
+            cfg = DeployConfig.from_method(
+                method, sigma=0.5, granularity=16,
+                saf_rates=None if saf == (0.0, 0.0) else saf,
+                pwt=_default_pwt(preset()))
+            deployer = Deployer(wl.model, wl.train, cfg, rng=1)
+            grid[(saf, method)] = evaluate_deployment(
+                deployer, wl.test, n_trials=trials(), rng=2).mean
+    lines = ["Extension — stuck-at faults + variation (LeNet, sigma=0.5)",
+             f"{'SA0/SA1 rate':<14}{'plain':>9}{'vawo*+pwt':>11}"]
+    for saf in rates:
+        lines.append(f"{saf[0]:.2f}/{saf[1]:.2f}      "
+                     f"{fmt_pct(grid[(saf, 'plain')]):>9}"
+                     f"{fmt_pct(grid[(saf, 'vawo*+pwt')]):>11}")
+    report("faults", lines)
+    return grid
+
+
+def test_saf_tolerance(benchmark):
+    grid = benchmark.pedantic(run, rounds=1, iterations=1)
+    rates = ((0.0, 0.0), (0.05, 0.01), (0.10, 0.02))
+    # The offset machinery keeps recovering most accuracy under faults.
+    for saf in rates:
+        assert grid[(saf, "vawo*+pwt")] > grid[(saf, "plain")] + 0.3
+    # Damage grows with fault rate for the plain scheme.
+    assert grid[(rates[0], "vawo*+pwt")] >= \
+        grid[(rates[-1], "vawo*+pwt")] - 0.1

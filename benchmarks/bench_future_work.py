@@ -1,0 +1,92 @@
+"""Extensions beyond the paper's evaluation.
+
+1. The conclusion's stated future work: combining DVA (variation-aware
+   training) with the digital-offset techniques. We measure all four
+   cells of the {standard, DVA-trained} x {plain, VAWO*+PWT} grid.
+2. BatchNorm recalibration: a purely digital post-deployment step the
+   paper does not consider, ablated on the residual workload.
+"""
+
+import numpy as np
+
+from _common import fmt_pct, preset, report, trials
+
+from repro.baselines.dva import DVAConfig, train_dva
+from repro.core import (DeployConfig, Deployer, PWTConfig,
+                        recalibrate_batchnorm)
+from repro.eval.accuracy import evaluate_deployment
+from repro.eval.experiments import build_workload
+from repro.nn.trainer import evaluate_accuracy
+
+
+def _dva_train(sigma: float):
+    def train(model, data, spec, rng):
+        cfg = DVAConfig(sigma=sigma, epochs=spec.epochs,
+                        batch_size=spec.batch_size, lr=spec.lr,
+                        weight_decay=spec.weight_decay)
+        train_dva(model, data, cfg, rng=rng)
+    train.__name__ = f"dva{sigma}"
+    return train
+
+
+def run_combination():
+    sigma = 0.7
+    standard = build_workload("lenet", preset=preset(), seed=0)
+    dva = build_workload("lenet", preset=preset(), seed=0,
+                         train_override=_dva_train(sigma))
+    grid = {}
+    for train_name, wl in (("standard", standard), ("dva", dva)):
+        for method in ("plain", "vawo*+pwt"):
+            cfg = DeployConfig.from_method(
+                method, sigma=sigma, granularity=16,
+                pwt=PWTConfig(epochs=2, lr=0.5, max_batches_per_epoch=20))
+            deployer = Deployer(wl.model, wl.train, cfg, rng=1)
+            grid[(train_name, method)] = evaluate_deployment(
+                deployer, wl.test, n_trials=trials(), rng=2).mean
+    lines = [f"Future work — DVA x digital offsets (LeNet, sigma={sigma})",
+             f"{'training':<10}{'plain':>9}{'vawo*+pwt':>11}"]
+    for t in ("standard", "dva"):
+        lines.append(f"{t:<10}{fmt_pct(grid[(t, 'plain')]):>9}"
+                     f"{fmt_pct(grid[(t, 'vawo*+pwt')]):>11}")
+    report("future_work_dva", lines)
+    return grid
+
+
+def test_dva_combination(benchmark):
+    grid = benchmark.pedantic(run_combination, rounds=1, iterations=1)
+    # Offsets help regardless of how the network was trained.
+    assert grid[("standard", "vawo*+pwt")] > grid[("standard", "plain")]
+    assert grid[("dva", "vawo*+pwt")] > grid[("dva", "plain")]
+    # DVA hardens the plain deployment.
+    assert grid[("dva", "plain")] >= grid[("standard", "plain")] - 0.03
+    # The combination is at least as good as offsets alone.
+    assert grid[("dva", "vawo*+pwt")] >= \
+        grid[("standard", "vawo*+pwt")] - 0.05
+
+
+def run_bn_recalibration():
+    wl = build_workload("resnet18", preset=preset(), seed=0)
+    sigma = 0.5
+    cfg = DeployConfig.from_method("vawo*", sigma=sigma, granularity=16)
+    deployer = Deployer(wl.model, wl.train, cfg, rng=1)
+    rows = {}
+    accs_plain, accs_recal = [], []
+    for t in range(trials()):
+        deployed = deployer.program(rng=100 + t)
+        accs_plain.append(evaluate_accuracy(deployed, wl.test))
+        recalibrate_batchnorm(deployed, wl.train, n_batches=4, rng=3)
+        accs_recal.append(evaluate_accuracy(deployed, wl.test))
+    rows["without"] = float(np.mean(accs_plain))
+    rows["with"] = float(np.mean(accs_recal))
+    lines = [f"Extension — BatchNorm recalibration (ResNet slim, VAWO*, "
+             f"sigma={sigma})",
+             f"without recalibration {fmt_pct(rows['without'])}",
+             f"with recalibration    {fmt_pct(rows['with'])}"]
+    report("future_work_bnrecal", lines)
+    return rows
+
+
+def test_bn_recalibration(benchmark):
+    rows = benchmark.pedantic(run_bn_recalibration, rounds=1, iterations=1)
+    # Digital recalibration never substantially hurts and usually helps.
+    assert rows["with"] >= rows["without"] - 0.05

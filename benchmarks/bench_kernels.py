@@ -1,0 +1,83 @@
+"""Microbenchmarks of the library's computational kernels.
+
+These are classic pytest-benchmark targets (many rounds, statistical
+timing) for the hot paths: device programming, the VAWO solver, the
+bit-accurate engine, and a crossbar-layer forward pass. They guard
+against performance regressions rather than reproducing a paper number.
+"""
+
+import numpy as np
+
+from repro.core.offsets import OffsetPlan
+from repro.core.vawo import run_vawo
+from repro.device.cell import MLC2, SLC
+from repro.device.lut import DeviceModel, build_lut_analytic
+from repro.device.variation import VariationModel
+from repro.nn.tensor import Tensor
+from repro.xbar.engine import CrossbarEngine
+
+
+def test_device_programming_128x128(benchmark):
+    device = DeviceModel(MLC2, VariationModel(0.5), n_bits=8)
+    values = np.random.default_rng(0).integers(0, 256, size=(128, 128))
+    rng = np.random.default_rng(1)
+    benchmark(device.program_cells, values, rng)
+
+
+def test_lut_build_analytic(benchmark):
+    device = DeviceModel(SLC, VariationModel(0.5), n_bits=8)
+    benchmark(build_lut_analytic, device)
+
+
+def test_vawo_solver_128x128(benchmark):
+    rng = np.random.default_rng(0)
+    device = DeviceModel(SLC, VariationModel(0.5), n_bits=8)
+    lut = build_lut_analytic(device)
+    plan = OffsetPlan(128, 128, 16)
+    ntw = np.clip(np.round(rng.normal(128, 30, size=(128, 128))),
+                  0, 255).astype(np.int64)
+    grads = np.abs(rng.normal(size=(128, 128)))
+    benchmark.pedantic(run_vawo, args=(ntw, grads, lut, plan),
+                       kwargs=dict(use_complement=True),
+                       rounds=3, iterations=1)
+
+
+def test_bit_accurate_engine_forward(benchmark):
+    rng = np.random.default_rng(0)
+    device = DeviceModel(MLC2, VariationModel(0.5), n_bits=8)
+    plan = OffsetPlan(128, 32, 16)
+    values = rng.integers(0, 256, size=(128, 32))
+    engine = CrossbarEngine(
+        cells=device.program_cells(values, rng), plan=plan,
+        registers=np.zeros((plan.n_groups, 32)),
+        complement=np.zeros((plan.n_groups, 32), dtype=bool),
+        cell=MLC2, input_scale=1 / 255, weight_scale=0.01,
+        weight_zero_point=128)
+    x = rng.uniform(0, 1, size=(16, 128))
+    benchmark.pedantic(engine.forward, args=(x,), rounds=3, iterations=1)
+
+
+def test_crossbar_layer_forward(benchmark):
+    from repro.core.crossbar_layers import CrossbarLinear
+
+    rng = np.random.default_rng(0)
+    device = DeviceModel(SLC, VariationModel(0.5), n_bits=8)
+    plan = OffsetPlan(400, 120, 16)
+    values = rng.integers(0, 256, size=(400, 120))
+    layer = CrossbarLinear(
+        cells=device.program_cells(values, rng), plan=plan,
+        registers=np.zeros((plan.n_groups, 120)),
+        complement=np.zeros((plan.n_groups, 120), dtype=bool),
+        cell=SLC, weight_bits=8, weight_scale=0.01, weight_zero_point=128)
+    x = Tensor(rng.uniform(size=(64, 400)))
+    benchmark(layer, x)
+
+
+def test_write_verify_pulse_loop(benchmark):
+    from repro.device.programming import write_verify
+
+    device = DeviceModel(SLC, VariationModel(0.5), n_bits=8)
+    values = np.random.default_rng(0).integers(0, 256, size=1000)
+    benchmark.pedantic(write_verify, args=(device, values),
+                       kwargs=dict(rng=np.random.default_rng(1)),
+                       rounds=3, iterations=1)

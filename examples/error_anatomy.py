@@ -1,0 +1,54 @@
+"""Dissect a deployment: where does the residual weight error live?
+
+Deploys LeNet three ways (plain, VAWO*, VAWO*+PWT) and prints the
+per-layer error anatomy from :mod:`repro.eval.analysis`: total RMS
+error, the group-coherent bias a shared offset can still remove, the
+within-group residual it cannot, and how hard the registers are
+working. This is the diagnostic view that explains *why* each technique
+helps: VAWO* shrinks the within-group variance, PWT zeroes the
+group-coherent bias.
+
+Run:  python examples/error_anatomy.py
+"""
+
+from repro.core import DeployConfig, Deployer, PWTConfig
+from repro.data import Dataset, synthetic_digits
+from repro.eval import analyze_deployment
+from repro.nn.models import LeNet
+from repro.nn.optim import Adam
+from repro.nn.trainer import evaluate_accuracy, train_classifier
+
+
+def main(seed: int = 0) -> None:
+    print("Training LeNet on synthetic digits...")
+    images, labels = synthetic_digits(1600, rng=seed)
+    train, test = Dataset(images, labels).split(0.8, rng=seed + 1)
+    model = LeNet(rng=seed)
+    optimizer = Adam(model.parameters(), lr=1e-3, weight_decay=5e-4)
+    train_classifier(model, train, epochs=5, batch_size=64,
+                     optimizer=optimizer, rng=seed + 2)
+
+    for method in ("plain", "vawo*", "vawo*+pwt"):
+        config = DeployConfig.from_method(
+            method, sigma=0.5, granularity=16,
+            pwt=PWTConfig(epochs=6, lr=1.0, lr_decay=0.9))
+        deployer = Deployer(model, train, config, rng=seed + 3)
+        deployed = deployer.program(rng=seed + 4)
+        acc = evaluate_accuracy(deployed, test)
+        print(f"\n=== {method}  (accuracy {acc:.2%}) ===")
+        header = (f"{'layer':<16}{'RMS err':>9}{'grp bias':>10}"
+                  f"{'within':>8}{'|b| avg':>9}{'comp':>6}")
+        print(header)
+        print("-" * len(header))
+        for s in analyze_deployment(deployed):
+            print(f"{s.path:<16}{s.rms_error:>9.1f}{s.group_bias_rms:>10.1f}"
+                  f"{s.within_group_rms:>8.1f}{s.offset_magnitude:>9.1f}"
+                  f"{s.complement_fraction:>6.0%}")
+    print("\nReading the table: 'grp bias' is the error component a shared")
+    print("offset can remove (PWT drives it to ~0); 'within' is what")
+    print("remains at this sharing granularity (VAWO* makes it small by")
+    print("writing low-variance states).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Quickstart: protect a LeNet from RRAM variation with digital offsets.
+
+Trains LeNet on the synthetic digit task, then deploys it onto the
+simulated 128x128 RRAM crossbar under heavy cycle-to-cycle variation
+(sigma = 0.5) four ways — the plain scheme and the paper's three
+techniques — and prints the recovered accuracy of each.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import DeployConfig, Deployer, PWTConfig
+from repro.data import Dataset, synthetic_digits
+from repro.eval import evaluate_deployment, ideal_accuracy
+from repro.nn.models import LeNet
+from repro.nn.optim import Adam
+from repro.nn.trainer import evaluate_accuracy, train_classifier
+
+
+def main(seed: int = 0) -> None:
+    # ------------------------------------------------------------------
+    # 1. Data and float training (the substrate the paper assumes).
+    # ------------------------------------------------------------------
+    print("Synthesising digits and training LeNet...")
+    images, labels = synthetic_digits(1600, rng=seed)
+    data = Dataset(images, labels)
+    train, test = data.split(0.8, rng=seed + 1)
+
+    model = LeNet(rng=seed)
+    optimizer = Adam(model.parameters(), lr=1e-3, weight_decay=5e-4)
+    train_classifier(model, train, epochs=5, batch_size=64,
+                     optimizer=optimizer, rng=seed + 2)
+    float_acc = evaluate_accuracy(model, test)
+    print(f"  float accuracy: {float_acc:.2%}\n")
+
+    # ------------------------------------------------------------------
+    # 2. Deploy onto the crossbar under variation, one method at a time.
+    # ------------------------------------------------------------------
+    sigma, granularity = 0.5, 16
+    pwt = PWTConfig(epochs=8, lr=1.0, lr_decay=0.9)
+    print(f"Deploying with sigma={sigma}, SLC cells, m={granularity}:")
+    header = f"  {'method':<12} {'accuracy':>10} {'std':>8}"
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    for method in ("plain", "vawo*", "pwt", "vawo*+pwt"):
+        config = DeployConfig.from_method(method, sigma=sigma,
+                                          granularity=granularity, pwt=pwt)
+        deployer = Deployer(model, train, config, rng=seed + 3)
+        if method == "plain":
+            ideal = ideal_accuracy(deployer, test)
+        result = evaluate_deployment(deployer, test, n_trials=3,
+                                     rng=seed + 4)
+        print(f"  {method:<12} {result.mean:>9.2%} {result.std:>8.2%}")
+    print(f"  {'ideal':<12} {ideal:>9.2%}")
+    print("\nThe plain scheme collapses; VAWO*+PWT recovers near-ideal "
+          "accuracy\nwhile using a single crossbar per weight matrix.")
+
+
+if __name__ == "__main__":
+    main()

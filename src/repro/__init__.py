@@ -1,0 +1,27 @@
+"""Reproduction of "Digital Offset for RRAM-based Neuromorphic Computing:
+A Novel Solution to Conquer Cycle-to-cycle Variation" (DATE 2021).
+
+Subpackages
+-----------
+``repro.nn``
+    From-scratch numpy autograd framework and the paper's networks.
+``repro.data``
+    Synthetic stand-ins for MNIST / CIFAR-10.
+``repro.quant``
+    8-bit quantization, the ISAAC weight shift, and SLC/MLC bit slicing.
+``repro.device``
+    Lognormal CCV/DDV conductance model, cell models, E/Var LUTs.
+``repro.xbar``
+    Bit-accurate crossbar simulator (one- and two-crossbar schemes).
+``repro.core``
+    The paper's contribution: digital offsets, VAWO, VAWO*, PWT, and the
+    end-to-end deployment pipeline.
+``repro.arch``
+    ISAAC tile area/power models (Tables I and II).
+``repro.baselines``
+    Plain scheme, DVA and PM comparison methods (Table III).
+``repro.eval``
+    Repeated-trial accuracy evaluation and named experiment configs.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,20 @@
+"""ISAAC architecture models: tile spec, overhead (Table II), read power (Table I)."""
+
+from repro.arch.area import (FA_AREA_MM2, FA_POWER_MW, MULT_AREA_MM2,
+                             MULT_POWER_MW, SRAM_BIT_AREA_MM2,
+                             SRAM_BIT_POWER_MW, OverheadBreakdown,
+                             sum_multiply_latency_ok, tile_overhead)
+from repro.arch.energy import (deployment_reading_power, reading_power,
+                               relative_reading_power)
+from repro.arch.isaac import DEFAULT_TILE, ISAACTile
+from repro.arch.latency import (LatencyEstimate, granularity_tradeoff,
+                                layer_latency, layer_vmm_cycles,
+                                model_latency)
+
+__all__ = [
+    "ISAACTile", "DEFAULT_TILE",
+    "OverheadBreakdown", "tile_overhead", "sum_multiply_latency_ok",
+    "reading_power", "relative_reading_power", "deployment_reading_power",
+    "LatencyEstimate", "layer_vmm_cycles", "layer_latency",
+    "model_latency", "granularity_tradeoff",
+]

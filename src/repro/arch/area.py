@@ -1,0 +1,118 @@
+"""Area/power overhead of the digital-offset support (Table II).
+
+The paper adds, per crossbar (Fig. 4):
+
+* one input-sum adder per weight column (NOT time-multiplexed): in each
+  cycle it adds the ``m`` 1-bit inputs of the active wordline group —
+  modelled as ``m - 1`` full-adder-equivalent slices;
+* one 8x8 Wallace-tree multiplier, shared by all columns
+  (time-multiplexed), computing ``b * sum(x)``;
+* ``H = S * l / m`` 8-bit offset registers (Eq. 9), built from SRAM.
+
+The unit costs below are *calibrated to the paper's published Table II
+totals* (0.049 mm^2 / 8.05 mW at m=16; 0.064 mm^2 / 22.77 mW at m=128,
+on a 0.372 mm^2 / 330 mW tile): the paper synthesised its adder and
+multiplier with Design Compiler on the Nangate 45 nm library and scaled
+to 32 nm, which we cannot re-run offline, so we invert its two published
+design points into per-unit constants instead. The *model structure*
+(what scales with m, what is fixed) is exactly the paper's; the
+constants carry its synthesis results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.arch.isaac import DEFAULT_TILE, ISAACTile
+
+# Calibrated unit costs (see module docstring).
+FA_AREA_MM2 = 1.19e-7           # effective full-adder slice area
+FA_POWER_MW = 4.53e-5           # per slice, at ISAAC's 100 ns cycle
+MULT_AREA_MM2 = 1.46e-4         # one 8x8 Wallace-tree multiplier
+MULT_POWER_MW = 5.2e-2
+SRAM_BIT_AREA_MM2 = 1.5e-7      # per offset-register bit
+SRAM_BIT_POWER_MW = 5.0e-6
+
+
+@dataclass
+class OverheadBreakdown:
+    """Per-component area/power overhead of one ISAAC tile."""
+
+    granularity: int
+    adder_area_mm2: float
+    multiplier_area_mm2: float
+    register_area_mm2: float
+    adder_power_mw: float
+    multiplier_power_mw: float
+    register_power_mw: float
+    tile: ISAACTile = field(default_factory=lambda: DEFAULT_TILE)
+
+    @property
+    def total_area_mm2(self) -> float:
+        return (self.adder_area_mm2 + self.multiplier_area_mm2
+                + self.register_area_mm2)
+
+    @property
+    def total_power_mw(self) -> float:
+        return (self.adder_power_mw + self.multiplier_power_mw
+                + self.register_power_mw)
+
+    @property
+    def area_overhead_fraction(self) -> float:
+        return self.total_area_mm2 / self.tile.area_mm2
+
+    @property
+    def power_overhead_fraction(self) -> float:
+        return self.total_power_mw / self.tile.power_mw
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "granularity": self.granularity,
+            "total_area_mm2": self.total_area_mm2,
+            "total_power_mw": self.total_power_mw,
+            "area_overhead": self.area_overhead_fraction,
+            "power_overhead": self.power_overhead_fraction,
+        }
+
+
+def tile_overhead(granularity: int, tile: ISAACTile = DEFAULT_TILE,
+                  offset_bits: int = 8) -> OverheadBreakdown:
+    """Digital-offset hardware overhead of one tile at granularity m."""
+    if granularity < 1:
+        raise ValueError("granularity must be positive")
+    n_xbar = tile.crossbars_per_tile
+    l_cols = tile.weight_cols_per_crossbar
+    # Adders: one per weight column, each summing m 1-bit inputs.
+    fa_slices = n_xbar * l_cols * max(granularity - 1, 1)
+    # Multiplier: one per crossbar, time-multiplexed across columns.
+    n_mult = n_xbar
+    # Registers: Eq. 9 per crossbar.
+    reg_bits = tile.offset_registers_per_tile(granularity) * offset_bits
+    return OverheadBreakdown(
+        granularity=granularity,
+        adder_area_mm2=fa_slices * FA_AREA_MM2,
+        multiplier_area_mm2=n_mult * MULT_AREA_MM2,
+        register_area_mm2=reg_bits * SRAM_BIT_AREA_MM2,
+        adder_power_mw=fa_slices * FA_POWER_MW,
+        multiplier_power_mw=n_mult * MULT_POWER_MW,
+        register_power_mw=reg_bits * SRAM_BIT_POWER_MW,
+        tile=tile,
+    )
+
+
+def sum_multiply_latency_ok(granularity: int,
+                            tile: ISAACTile = DEFAULT_TILE) -> bool:
+    """Check the paper's pipeline claim (Section IV-B2).
+
+    The Sum+Multi operation (an m-input adder tree followed by the 8x8
+    multiply) must finish within ISAAC's 100 ns cycle. A first-order
+    gate-delay model: ~0.1 ns per adder-tree level at 32 nm plus ~2 ns
+    for the Wallace multiplier — comfortably under 100 ns for every
+    granularity the paper considers, reproducing its conclusion that the
+    operation integrates into the pipeline with no latency increase.
+    """
+    import math
+    tree_levels = max(1, math.ceil(math.log2(max(granularity, 2))))
+    latency_ns = 0.1 * tree_levels + 2.0
+    return latency_ns <= tile.cycle_ns

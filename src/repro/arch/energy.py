@@ -1,0 +1,63 @@
+"""Device reading power (Table I).
+
+At a fixed read voltage a cell's read power is proportional to its
+conductance (P = V^2 G), so the total device reading power of a
+deployment is the sum of the programmed cell conductances. VAWO*
+deliberately drives cells toward higher-resistance (lower-conductance)
+states — CTWs are smaller than NTWs, with the offset registers carrying
+the difference — so its total reading power drops below the plain
+scheme's. Table I reports exactly this ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.device.cell import CellType
+from repro.quant.bitslice import slice_weights
+
+
+def reading_power(values: np.ndarray, cell: CellType,
+                  weight_bits: int = 8) -> float:
+    """Total (relative-unit) read power of integer weights ``values``.
+
+    Slices each weight into cells and sums the nominal conductances —
+    the activity-independent component the paper's Table I compares.
+    """
+    digits = slice_weights(np.asarray(values), weight_bits, cell.bits)
+    return float(cell.read_power(digits).sum())
+
+
+def relative_reading_power(ctw_layers: Iterable[np.ndarray],
+                           ntw_layers: Iterable[np.ndarray],
+                           cell: CellType,
+                           weight_bits: int = 8) -> float:
+    """Table I's metric: VAWO* read power relative to the plain scheme.
+
+    ``ctw_layers`` are the per-layer CTW matrices chosen by VAWO*;
+    ``ntw_layers`` the corresponding NTWs the plain scheme would write.
+    """
+    ctw_layers = list(ctw_layers)
+    ntw_layers = list(ntw_layers)
+    if len(ctw_layers) != len(ntw_layers):
+        raise ValueError("layer lists must have equal length")
+    if not ctw_layers:
+        raise ValueError("need at least one layer")
+    power_vawo = sum(reading_power(c, cell, weight_bits) for c in ctw_layers)
+    power_plain = sum(reading_power(n, cell, weight_bits) for n in ntw_layers)
+    return power_vawo / power_plain
+
+
+def deployment_reading_power(deployer, cell: CellType = None) -> float:
+    """Relative reading power of a prepared :class:`Deployer`.
+
+    Compares the deployer's chosen CTWs against its NTWs (the plain
+    scheme's write image) using its own cell technology.
+    """
+    cell = cell or deployer.config.cell
+    ctws = [prep.assignment.ctw for prep in deployer.layers]
+    ntws = [prep.ntw for prep in deployer.layers]
+    return relative_reading_power(ctws, ntws, cell,
+                                  deployer.config.weight_bits)

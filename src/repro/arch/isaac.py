@@ -1,0 +1,52 @@
+"""ISAAC tile parameters (the paper's baseline architecture).
+
+Constants follow Shafiee et al., ISCA'16, as used by the paper's
+Section IV-B: 128x128 crossbars, 100 ns cycle, 8 crossbar arrays per
+IMA, 12 IMAs per tile, and the published tile area/power that Table II
+normalises against (0.372 mm^2 / 330 mW).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ISAACTile:
+    """Structural and physical parameters of one ISAAC tile."""
+
+    crossbar_size: int = 128
+    crossbars_per_ima: int = 8
+    imas_per_tile: int = 12
+    cycle_ns: float = 100.0
+    area_mm2: float = 0.372
+    power_mw: float = 330.0
+    weight_bits: int = 8
+    cell_bits: int = 2                  # ISAAC stores weights on 2-bit MLCs
+
+    @property
+    def crossbars_per_tile(self) -> int:
+        return self.crossbars_per_ima * self.imas_per_tile
+
+    @property
+    def cells_per_weight(self) -> int:
+        return -(-self.weight_bits // self.cell_bits)
+
+    @property
+    def weight_cols_per_crossbar(self) -> int:
+        """The paper's ``l``: weight columns stored per crossbar (32)."""
+        return self.crossbar_size // self.cells_per_weight
+
+    def offset_registers_per_crossbar(self, granularity: int) -> int:
+        """Eq. 9: ``H = S * l / m`` registers per crossbar."""
+        if granularity < 1:
+            raise ValueError("granularity must be positive")
+        return -(-self.crossbar_size * self.weight_cols_per_crossbar
+                 // granularity)
+
+    def offset_registers_per_tile(self, granularity: int) -> int:
+        return self.offset_registers_per_crossbar(granularity) \
+            * self.crossbars_per_tile
+
+
+DEFAULT_TILE = ISAACTile()

@@ -1,0 +1,88 @@
+"""Cycle-count model for crossbar VMM under limited wordline activation.
+
+The paper (Section III-A) notes that only a limited number of wordlines
+are activated per cycle, and that sharing an offset with fewer devices
+— activating fewer wordlines — "costs more cycles to complete a VMM
+operation". This module quantifies that trade-off: with ``m`` wordlines
+active per cycle and bit-serial 8-bit inputs, a matrix of R rows needs
+
+``cycles = input_bits * ceil(R / m)``   per crossbar column pass,
+
+so halving the sharing granularity doubles the VMM latency. Together
+with :mod:`repro.arch.area` this completes the granularity design
+space: registers and accuracy favour small m, latency and adder area
+favour large m.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from repro.arch.isaac import DEFAULT_TILE, ISAACTile
+
+
+@dataclass(frozen=True)
+class LatencyEstimate:
+    """VMM latency of one layer on the crossbar substrate."""
+
+    rows: int
+    granularity: int
+    input_bits: int
+    cycles: int
+    nanoseconds: float
+
+    @property
+    def microseconds(self) -> float:
+        return self.nanoseconds / 1e3
+
+
+def layer_vmm_cycles(rows: int, granularity: int, input_bits: int = 8,
+                     crossbar_size: int = 128) -> int:
+    """Cycles to stream one input vector through one layer's crossbars.
+
+    Row tiles beyond the crossbar size run on *parallel* crossbars, so
+    only the per-crossbar row count (capped at ``crossbar_size``)
+    serialises into cycles.
+    """
+    if rows < 1 or granularity < 1 or input_bits < 1:
+        raise ValueError("rows, granularity, input_bits must be positive")
+    rows_per_xbar = min(rows, crossbar_size)
+    groups = -(-rows_per_xbar // granularity)
+    return input_bits * groups
+
+
+def layer_latency(rows: int, granularity: int, input_bits: int = 8,
+                  tile: ISAACTile = DEFAULT_TILE) -> LatencyEstimate:
+    """Latency of one layer's VMM at the tile's clock."""
+    cycles = layer_vmm_cycles(rows, granularity, input_bits,
+                              tile.crossbar_size)
+    return LatencyEstimate(rows=rows, granularity=granularity,
+                           input_bits=input_bits, cycles=cycles,
+                           nanoseconds=cycles * tile.cycle_ns)
+
+
+def model_latency(layer_rows: Iterable[int], granularity: int,
+                  input_bits: int = 8,
+                  tile: ISAACTile = DEFAULT_TILE) -> float:
+    """Total nanoseconds for a non-pipelined pass over all layers.
+
+    (ISAAC pipelines layers in steady state; this is the latency of a
+    single inference through the pipe, the quantity the granularity
+    trade-off changes.)
+    """
+    return sum(layer_latency(r, granularity, input_bits, tile).nanoseconds
+               for r in layer_rows)
+
+
+def granularity_tradeoff(layer_rows: Iterable[int],
+                         granularities: Iterable[int] = (16, 32, 64, 128),
+                         tile: ISAACTile = DEFAULT_TILE
+                         ) -> List[Tuple[int, float, int]]:
+    """(m, latency_ns, registers_per_crossbar) across granularities."""
+    layer_rows = list(layer_rows)
+    out = []
+    for m in granularities:
+        out.append((m, model_latency(layer_rows, m, tile=tile),
+                    tile.offset_registers_per_crossbar(m)))
+    return out

@@ -1,0 +1,11 @@
+"""Comparison methods for Table III: DVA, PM, and DVA+PM."""
+
+from repro.baselines.dva import (DVA_DEVICES_PER_WEIGHT, DVAConfig,
+                                 train_dva)
+from repro.baselines.pm import (PM_DEVICES_PER_WEIGHT, PMConfig, UnaryCoder,
+                                deploy_pm)
+
+__all__ = [
+    "DVAConfig", "train_dva", "DVA_DEVICES_PER_WEIGHT",
+    "PMConfig", "UnaryCoder", "deploy_pm", "PM_DEVICES_PER_WEIGHT",
+]

@@ -1,0 +1,193 @@
+"""PM baseline: unary synapse coding with priority mapping (Ma et al., DATE'20).
+
+"Go unary" represents each weight across several equal-significance
+cells instead of binary bit slices: a signed 8-bit weight is split into
+positive/negative magnitudes (two-crossbar architecture) and each
+magnitude is spread over ``cells_per_polarity`` 2-bit MLCs holding
+near-equal levels. Two consequences the paper exploits:
+
+* no high-significance cell exists, so a single deviating device
+  perturbs the weight by at most 1/cells of its range (variance
+  averaging);
+* *priority mapping* places each weight's charge on the devices within
+  its cell group whose persistent (device-to-device) deviation is
+  smallest — which requires testing every device and, critically,
+  **cannot see cycle-to-cycle variation**, the weakness the digital
+  offset paper targets (Section IV-C1).
+
+Hardware cost: 10 MLC devices per weight across the crossbar pair —
+the 2.5 normalised crossbar count of Table III.
+
+Simplification vs the original (documented in DESIGN.md): priority
+mapping is applied within each weight's own device group (choosing
+which of its cells carry charge) rather than re-permuting whole
+rows/columns of the crossbar; both variants use only the persistent DDV
+knowledge, which is the property Table III's comparison hinges on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.pipeline import (_rebuild_sequentials, _replace_module,
+                                 mappable_layers, weight_to_matrix)
+from repro.device.cell import MLC2, CellType
+from repro.device.variation import VariationModel
+from repro.nn import functional as F
+from repro.nn.layers import Conv2d
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.utils.rng import RngLike, make_rng
+
+PM_DEVICES_PER_WEIGHT = 10      # 10 2-bit MLCs across the crossbar pair
+
+
+@dataclass
+class PMConfig:
+    """Unary-coding deployment parameters."""
+
+    sigma: float = 0.8
+    ddv_fraction: float = 0.5        # share of variance PM *can* see
+    cells_per_polarity: int = 5      # 5 + 5 = 10 devices per weight
+    cell: CellType = MLC2
+    weight_bits: int = 8
+    priority_mapping: bool = True
+
+    @property
+    def levels_per_polarity(self) -> int:
+        return self.cells_per_polarity * self.cell.max_level
+
+
+class UnaryCoder:
+    """Encode signed integer weights onto equal-significance cells."""
+
+    def __init__(self, config: PMConfig):
+        self.config = config
+        half = 1 << (config.weight_bits - 1)
+        self.scale = half / config.levels_per_polarity
+
+    def encode_magnitude(self, magnitude: np.ndarray) -> np.ndarray:
+        """Non-negative integer magnitudes -> cell levels (..., cells).
+
+        The magnitude (in units of ``scale``) is spread as evenly as
+        possible: ``q`` full levels of value ``ceil`` and the remainder
+        at a lower level, e.g. 7 units over 5 cells of max level 3 ->
+        [3, 3, 1, 0, 0].
+        """
+        cfg = self.config
+        units = np.clip(np.round(np.asarray(magnitude) / self.scale),
+                        0, cfg.levels_per_polarity).astype(np.int64)
+        cells = np.zeros(units.shape + (cfg.cells_per_polarity,),
+                         dtype=np.int64)
+        remaining = units.copy()
+        for i in range(cfg.cells_per_polarity):
+            level = np.minimum(remaining, cfg.cell.max_level)
+            cells[..., i] = level
+            remaining -= level
+        return cells
+
+    def decode(self, noisy_cells: np.ndarray) -> np.ndarray:
+        """Noisy cell conductances -> magnitude value (float)."""
+        return noisy_cells.sum(axis=-1) * self.scale
+
+
+def _order_cells_by_reliability(cells: np.ndarray,
+                                ddv_theta: np.ndarray) -> np.ndarray:
+    """Priority mapping: charge goes to the least-deviating devices.
+
+    ``cells`` holds per-weight levels sorted descending by construction;
+    we permute each weight's levels so the largest levels land on the
+    devices with the smallest persistent |theta|.
+    """
+    order = np.argsort(np.abs(ddv_theta), axis=-1)      # best devices first
+    mapped = np.zeros_like(cells)
+    np.put_along_axis(mapped, order, cells, axis=-1)
+    return mapped
+
+
+class PMLinear(Module):
+    """Dense layer on the two-crossbar unary-coded substrate."""
+
+    def __init__(self, weight_eff: np.ndarray, bias: Optional[np.ndarray]):
+        super().__init__()
+        self.weight_eff = weight_eff            # (in, out) float
+        self.bias = bias
+
+    def forward(self, x: Tensor) -> Tensor:
+        y = x @ Tensor(self.weight_eff)
+        if self.bias is not None:
+            y = y + self.bias
+        return y
+
+
+class PMConv2d(Module):
+    """Convolution on the two-crossbar unary-coded substrate."""
+
+    def __init__(self, weight_eff: np.ndarray, kernel_shape,
+                 stride: int, padding: int, bias: Optional[np.ndarray]):
+        super().__init__()
+        f, c, kh, kw = kernel_shape
+        self.kernel = weight_eff.T.reshape(f, c, kh, kw)
+        self.stride = stride
+        self.padding = padding
+        self.bias = bias
+
+    def forward(self, x: Tensor) -> Tensor:
+        bias_t = None if self.bias is None else Tensor(self.bias)
+        return F.conv2d(x, Tensor(self.kernel), bias_t,
+                        stride=self.stride, padding=self.padding)
+
+
+def deploy_pm(model: Module, config: PMConfig = None,
+              rng: RngLike = None) -> Module:
+    """Deploy ``model`` with unary coding + priority mapping; returns a copy.
+
+    Steps per layer: symmetric-quantize weights to signed integers,
+    split positive/negative magnitudes (two-crossbar), unary-encode each
+    magnitude over its device group, priority-map using the *persistent*
+    DDV component (known from testing), then program — the CCV component
+    strikes unseen, exactly the failure mode the digital-offset paper
+    exploits in its comparison.
+    """
+    import copy
+
+    config = config or PMConfig()
+    rng = make_rng(rng)
+    variation = VariationModel(config.sigma, config.ddv_fraction)
+    coder = UnaryCoder(config)
+    half = 1 << (config.weight_bits - 1)
+
+    deployed = copy.deepcopy(model)
+    for path, layer in mappable_layers(model):
+        w = layer.weight.data
+        w_mat = weight_to_matrix(w)                      # (rows, cols)
+        scale = np.abs(w_mat).max() / (half - 1) if np.abs(w_mat).max() > 0 else 1.0
+        q = np.clip(np.round(w_mat / scale), -(half - 1), half - 1)
+        pos, neg = np.maximum(q, 0), np.maximum(-q, 0)
+
+        w_eff = np.zeros_like(w_mat)
+        for sign, mag in ((1.0, pos), (-1.0, neg)):
+            cells = coder.encode_magnitude(mag)
+            ddv = variation.sample_ddv(cells.shape, rng)
+            if config.priority_mapping:
+                cells = _order_cells_by_reliability(cells, ddv)
+            nominal = config.cell.conductance(cells)
+            # Remove the constant OFF-state leak the readout calibrates out.
+            leak = config.cell.conductance(np.zeros_like(cells))
+            noisy = variation.perturb(nominal, rng, ddv_theta=ddv) - leak
+            w_eff += sign * coder.decode(noisy)
+        w_eff *= scale
+
+        bias = None if layer.bias is None else layer.bias.data.copy()
+        if isinstance(layer, Conv2d):
+            new = PMConv2d(w_eff, tuple(layer.weight.shape),
+                           layer.stride, layer.padding, bias)
+        else:
+            new = PMLinear(w_eff, bias)
+        _replace_module(deployed, path, new)
+    _rebuild_sequentials(deployed)
+    deployed.eval()
+    return deployed

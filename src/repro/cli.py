@@ -1,0 +1,198 @@
+"""Command-line interface: train, deploy, evaluate, and run experiments.
+
+Usage (after ``pip install -e .``):
+
+.. code-block:: bash
+
+    python -m repro train --workload lenet --preset quick
+    python -m repro deploy --workload lenet --method "vawo*+pwt" \
+        --sigma 0.5 --granularity 16 --trials 5
+    python -m repro experiment --name fig5a
+    python -m repro overhead --granularity 16 128
+    python -m repro info
+
+Workloads are trained once and cached (``.cache/repro``), so repeated
+deploy/experiment invocations are fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+
+
+def _add_train(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("train", help="train (and cache) a workload")
+    p.add_argument("--workload", default="lenet",
+                   choices=["lenet", "resnet18", "vgg16"])
+    p.add_argument("--preset", default="quick", choices=["quick", "full"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--dva-sigma", type=float, default=None,
+                   help="train with DVA variation injection at this sigma")
+
+
+def _add_deploy(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("deploy",
+                       help="deploy a workload onto the simulated crossbar")
+    p.add_argument("--workload", default="lenet",
+                   choices=["lenet", "resnet18", "vgg16"])
+    p.add_argument("--preset", default="quick", choices=["quick", "full"])
+    p.add_argument("--method", default="vawo*+pwt",
+                   choices=["plain", "vawo", "vawo*", "pwt", "vawo*+pwt"])
+    p.add_argument("--sigma", type=float, default=0.5)
+    p.add_argument("--granularity", "-m", type=int, default=16)
+    p.add_argument("--cell-bits", type=int, default=1, choices=[1, 2],
+                   help="1 = SLC, 2 = 2-bit MLC")
+    p.add_argument("--trials", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--saf", type=float, nargs=2, metavar=("SA0", "SA1"),
+                   default=None, help="stuck-at fault rates")
+
+
+def _add_experiment(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("experiment", help="run a named paper experiment")
+    p.add_argument("--name", required=True,
+                   choices=["fig5a", "fig5b", "fig5c", "table1", "table2",
+                            "table3"])
+    p.add_argument("--preset", default="quick", choices=["quick", "full"])
+    p.add_argument("--trials", type=int, default=2)
+
+
+def _add_overhead(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("overhead",
+                       help="ISAAC tile overhead of the offset hardware")
+    p.add_argument("--granularity", "-m", type=int, nargs="+",
+                   default=[16, 128])
+
+
+def _cmd_train(args) -> int:
+    from repro.eval.experiments import build_workload
+
+    override = None
+    if args.dva_sigma is not None:
+        from repro.baselines.dva import DVAConfig, train_dva
+
+        def override(model, data, spec, rng):
+            cfg = DVAConfig(sigma=args.dva_sigma, epochs=spec.epochs,
+                            batch_size=spec.batch_size, lr=spec.lr)
+            train_dva(model, data, cfg, rng=rng)
+        override.__name__ = f"dva{args.dva_sigma}"
+
+    wl = build_workload(args.workload, args.preset, args.seed,
+                        train_override=override)
+    print(f"{args.workload} ({args.preset}, seed {args.seed}): "
+          f"float accuracy {wl.float_accuracy:.2%}")
+    return 0
+
+
+def _cmd_deploy(args) -> int:
+    from repro.core import DeployConfig, Deployer
+    from repro.device.cell import MLC2, SLC
+    from repro.eval import evaluate_deployment, ideal_accuracy
+    from repro.eval.experiments import _default_pwt, build_workload
+
+    wl = build_workload(args.workload, args.preset, args.seed)
+    cell = SLC if args.cell_bits == 1 else MLC2
+    config = DeployConfig.from_method(
+        args.method, sigma=args.sigma, granularity=args.granularity,
+        cell=cell, pwt=_default_pwt(args.preset), bn_recalibrate=True,
+        saf_rates=tuple(args.saf) if args.saf else None)
+    deployer = Deployer(wl.model, wl.train, config, rng=args.seed + 10)
+    ideal = ideal_accuracy(deployer, wl.test)
+    result = evaluate_deployment(deployer, wl.test, n_trials=args.trials,
+                                 rng=args.seed + 20)
+    print(f"workload:  {args.workload} (float {wl.float_accuracy:.2%}, "
+          f"ideal quantized {ideal:.2%})")
+    print(f"method:    {args.method}  sigma={args.sigma}  "
+          f"m={args.granularity}  cell={args.cell_bits}-bit")
+    print(f"deployed:  {result}")
+    print(f"registers: {deployer.total_registers()}   "
+          f"crossbars: {deployer.crossbar_count()}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.eval import experiments as ex
+
+    if args.name == "fig5a":
+        rows = ex.run_fig5_accuracy("lenet", args.preset,
+                                    n_trials=args.trials)
+    elif args.name == "fig5b":
+        rows = ex.run_fig5_accuracy("resnet18", args.preset,
+                                    n_trials=args.trials)
+    elif args.name == "fig5c":
+        rows = ex.run_fig5c(args.preset, n_trials=args.trials)
+    elif args.name == "table1":
+        for wl, per_m in ex.run_table1(args.preset).items():
+            for m, v in per_m.items():
+                print(f"{wl:<10} m={m:<4} relative reading power {v:.2%}")
+        return 0
+    elif args.name == "table2":
+        for row in ex.run_table2():
+            print(f"m={row['granularity']:<4} area {row['total_area_mm2']:.3f} mm^2 "
+                  f"({row['area_overhead']:.1%})  power "
+                  f"{row['total_power_mw']:.2f} mW ({row['power_overhead']:.1%})")
+        return 0
+    else:
+        for row in ex.run_table3(args.preset, n_trials=args.trials):
+            print(f"{row.method:<10} sigma={row.sigma} "
+                  f"loss {row.accuracy_loss:.2%} "
+                  f"crossbars {row.crossbar_number}")
+        return 0
+    for r in rows:
+        print(f"{r.method:<10} m={r.granularity:<4} sigma={r.sigma} "
+              f"acc {r.mean_accuracy:.2%} (ideal {r.ideal_accuracy:.2%})")
+    return 0
+
+
+def _cmd_overhead(args) -> int:
+    from repro.arch import tile_overhead
+
+    for m in args.granularity:
+        o = tile_overhead(m)
+        print(f"m={m:<4} area {o.total_area_mm2:.3f} mm^2 "
+              f"({o.area_overhead_fraction:.1%})  power "
+              f"{o.total_power_mw:.2f} mW ({o.power_overhead_fraction:.1%})")
+    return 0
+
+
+def _cmd_info(_args) -> int:
+    import numpy
+    import scipy
+    print(f"repro {__version__} — DATE 2021 digital-offset reproduction")
+    print(f"numpy {numpy.__version__}, scipy {scipy.__version__}")
+    print("workloads: lenet, resnet18 (slim), vgg16 (slim)")
+    print("methods:   plain, vawo, vawo*, pwt, vawo*+pwt")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Digital Offset for RRAM-based Neuromorphic Computing "
+                    "(DATE 2021) — reproduction toolkit")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_train(sub)
+    _add_deploy(sub)
+    _add_experiment(sub)
+    _add_overhead(sub)
+    sub.add_parser("info", help="library and environment information")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "train": _cmd_train,
+        "deploy": _cmd_deploy,
+        "experiment": _cmd_experiment,
+        "overhead": _cmd_overhead,
+        "info": _cmd_info,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""The paper's contribution: digital offsets, VAWO, VAWO*, and PWT."""
+
+from repro.core.crossbar_layers import (CrossbarConv2d, CrossbarLinear,
+                                        ste_quantize)
+from repro.core.offsets import OffsetPlan
+from repro.core.pipeline import (DeployConfig, Deployer, mappable_layers,
+                                 recalibrate_batchnorm)
+from repro.core.snapshot import (load_deployment, save_deployment,
+                                 snapshot_exists)
+from repro.core.pwt import (PWTConfig, PWTHistory, analytic_offset_init,
+                            crossbar_modules, offset_parameters, run_pwt)
+from repro.core.vawo import (VAWOResult, offset_candidates, plain_assignment,
+                             run_vawo)
+
+__all__ = [
+    "OffsetPlan", "VAWOResult", "run_vawo", "plain_assignment",
+    "offset_candidates", "PWTConfig", "PWTHistory", "run_pwt",
+    "offset_parameters", "crossbar_modules", "analytic_offset_init",
+    "CrossbarLinear", "CrossbarConv2d", "ste_quantize",
+    "DeployConfig", "Deployer", "mappable_layers", "recalibrate_batchnorm",
+    "save_deployment", "load_deployment", "snapshot_exists",
+]

@@ -1,0 +1,192 @@
+"""Network layers that execute on the simulated RRAM crossbar.
+
+:class:`CrossbarLinear` / :class:`CrossbarConv2d` replace ``Linear`` /
+``Conv2d`` in a deployed model. Each stores:
+
+* the programmed noisy cell conductances (from
+  :meth:`repro.device.DeviceModel.program_cells`) — the crossbar real
+  weights after one programming cycle;
+* a trainable register file of digital offsets (the PWT parameters);
+* the per-group complement mask and the quantization parameters.
+
+The forward pass uses the *fast float path*: the effective weight
+``W = scale * (q_eff - zero_point)`` with
+``q_eff = V + expand(b)`` (or ``qmax - (V + expand(b))`` for
+complemented groups), which is mathematically identical to the
+bit-accurate engine under an ideal ADC (asserted in tests). Crucially
+the expansion ``b -> expand(b)`` is an autograd op, so back-propagation
+delivers exactly Eq. 8's ``dL/db_g = dL/dz * sum(x in group g)`` and an
+optimizer over the offset parameters implements PWT.
+
+Input activations are fake-quantized with a straight-through estimator
+so offset gradients can flow through deeper layers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.offsets import OffsetPlan
+from repro.device.cell import CellType
+from repro.nn import functional as F
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+from repro.quant.bitslice import cell_significances
+from repro.quant.quantizer import InputQuantizer
+from repro.xbar.adc import ADC
+from repro.xbar.engine import CrossbarEngine
+
+
+def ste_quantize(x: Tensor, quantizer: InputQuantizer) -> Tensor:
+    """Fake-quantize activations with a straight-through gradient."""
+    qdata = quantizer.apply(x.data)
+
+    def backward(g: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(g)
+
+    return Tensor._make(qdata, (x,), backward)
+
+
+class _CrossbarBase(Module):
+    """Shared state and effective-weight construction for crossbar layers."""
+
+    def __init__(self, cells: np.ndarray, plan: OffsetPlan,
+                 registers: np.ndarray, complement: np.ndarray,
+                 cell: CellType, weight_bits: int, weight_scale: float,
+                 weight_zero_point: int,
+                 input_quantizer: Optional[InputQuantizer] = None,
+                 bias: Optional[np.ndarray] = None,
+                 ntw: Optional[np.ndarray] = None,
+                 grad_weights: Optional[np.ndarray] = None):
+        super().__init__()
+        rows, cols, n_cells = cells.shape
+        if (rows, cols) != (plan.rows, plan.cols):
+            raise ValueError("cells shape does not match the offset plan")
+        expected = (plan.n_groups, plan.cols)
+        if registers.shape != expected or complement.shape != expected:
+            raise ValueError(f"registers/complement must be {expected}")
+        self.plan = plan
+        self.cell = cell
+        self.weight_bits = weight_bits
+        self.weight_scale = float(weight_scale)
+        self.weight_zero_point = int(weight_zero_point)
+        self.input_quantizer = input_quantizer
+        self.cells = np.asarray(cells, dtype=np.float64)
+        self._significance = cell_significances(weight_bits, cell.bits)
+        # Crossbar real weights, fixed after programming.
+        self.crw = self.cells @ self._significance
+        self.offsets = Parameter(np.asarray(registers, dtype=np.float64))
+        self.complement_mask = np.asarray(complement, dtype=bool)
+        self.bias = None if bias is None else np.asarray(bias, dtype=np.float64)
+        # Optional deployment metadata used by PWT's analytic init.
+        self.ntw = None if ntw is None else np.asarray(ntw, dtype=np.float64)
+        self.grad_weights = (None if grad_weights is None
+                             else np.asarray(grad_weights, dtype=np.float64))
+        # Precomputed complement algebra: q_eff = sign*(V + b) + const.
+        comp_rows = plan.expand(self.complement_mask.astype(np.float64))
+        self._sign = 1.0 - 2.0 * comp_rows
+        self._const = comp_rows * self.qmax
+
+    @property
+    def qmax(self) -> int:
+        return (1 << self.weight_bits) - 1
+
+    @property
+    def register_count(self) -> int:
+        return self.plan.n_registers
+
+    # ------------------------------------------------------------------
+    # effective weights
+    # ------------------------------------------------------------------
+    def effective_weight_matrix(self) -> Tensor:
+        """The float (rows, cols) weight matrix, differentiable in b."""
+        v = Tensor(self.crw)
+        b_exp = self.offsets[self.plan.group_index]          # (rows, cols)
+        q_eff = (v + b_exp) * self._sign + self._const
+        return (q_eff - float(self.weight_zero_point)) * self.weight_scale
+
+    def effective_weight_array(self) -> np.ndarray:
+        """Same as :meth:`effective_weight_matrix`, as a plain array."""
+        return self.effective_weight_matrix().data
+
+    def quantize_offsets(self, offset_bits: int = 8) -> None:
+        """Round offsets onto the signed register grid (post-PWT)."""
+        half = 1 << (offset_bits - 1)
+        self.offsets.data[...] = np.clip(np.round(self.offsets.data),
+                                         -half, half - 1)
+
+    def make_engine(self, adc: Optional[ADC] = None) -> CrossbarEngine:
+        """A bit-accurate engine view of this layer's current state."""
+        input_scale = (self.input_quantizer.scale
+                       if self.input_quantizer is not None else 1.0)
+        input_bits = (self.input_quantizer.n_bits
+                      if self.input_quantizer is not None else 8)
+        return CrossbarEngine(
+            cells=self.cells, plan=self.plan,
+            registers=self.offsets.data.copy(),
+            complement=self.complement_mask, cell=self.cell,
+            weight_bits=self.weight_bits, input_bits=input_bits,
+            weight_scale=self.weight_scale,
+            weight_zero_point=self.weight_zero_point,
+            input_scale=input_scale, adc=adc)
+
+    def _quantize_input(self, x: Tensor) -> Tensor:
+        if self.input_quantizer is None:
+            return x
+        return ste_quantize(x, self.input_quantizer)
+
+
+class CrossbarLinear(_CrossbarBase):
+    """A dense layer running on the crossbar: y = x @ W_eff + bias.
+
+    The weight matrix layout is (in_features, out_features): inputs on
+    wordlines, outputs on weight columns.
+    """
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self._quantize_input(x)
+        w = self.effective_weight_matrix()                  # (in, out)
+        y = x @ w
+        if self.bias is not None:
+            y = y + self.bias
+        return y
+
+
+class CrossbarConv2d(_CrossbarBase):
+    """A convolution running on the crossbar via its unrolled matrix.
+
+    The stored matrix has rows = C_in * kh * kw (wordlines) and cols =
+    C_out; the forward pass reassembles the conv kernel from the
+    effective matrix so gradients flow to the offsets.
+    """
+
+    def __init__(self, cells: np.ndarray, plan: OffsetPlan,
+                 registers: np.ndarray, complement: np.ndarray,
+                 cell: CellType, weight_bits: int, weight_scale: float,
+                 weight_zero_point: int, kernel_shape,
+                 stride: int = 1, padding: int = 0,
+                 input_quantizer: Optional[InputQuantizer] = None,
+                 bias: Optional[np.ndarray] = None,
+                 ntw: Optional[np.ndarray] = None,
+                 grad_weights: Optional[np.ndarray] = None):
+        super().__init__(cells, plan, registers, complement, cell,
+                         weight_bits, weight_scale, weight_zero_point,
+                         input_quantizer, bias, ntw, grad_weights)
+        f, c, kh, kw = kernel_shape
+        if plan.rows != c * kh * kw or plan.cols != f:
+            raise ValueError("kernel shape inconsistent with matrix layout")
+        self.kernel_shape = tuple(kernel_shape)
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self._quantize_input(x)
+        f, c, kh, kw = self.kernel_shape
+        w = self.effective_weight_matrix()                  # (c*kh*kw, f)
+        kernel = w.transpose(1, 0).reshape(f, c, kh, kw)
+        bias_t = None if self.bias is None else Tensor(self.bias)
+        return F.conv2d(x, kernel, bias_t, stride=self.stride,
+                        padding=self.padding)

@@ -1,0 +1,125 @@
+"""Digital-offset bookkeeping: sharing granularity and group layout.
+
+A weight matrix mapped to a crossbar has shape (rows, cols): rows are
+wordlines (inputs), cols are weight columns (outputs). One digital
+offset register is shared by ``m`` consecutive weights of a column —
+``m`` is the paper's *sharing granularity*, a multiple of the number of
+wordlines activated per cycle (16/64/128 in the evaluation).
+
+:class:`OffsetPlan` owns the row → group mapping and the expansion /
+reduction operators the rest of the library needs:
+
+* ``expand(b)`` turns per-group registers (n_groups, cols) into a
+  per-weight offset matrix (rows, cols);
+* ``group_sum(x)`` computes the per-group input sums ``sum(x_i)`` that
+  the hardware's adder trees produce (Eq. 1 / Eq. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class OffsetPlan:
+    """Row grouping for a (rows, cols) weight matrix at granularity m."""
+
+    rows: int
+    cols: int
+    granularity: int
+
+    def __post_init__(self):
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("matrix dimensions must be positive")
+        if self.granularity < 1:
+            raise ValueError(f"granularity must be >= 1, got {self.granularity}")
+
+    @property
+    def n_groups(self) -> int:
+        """Number of offset groups per column (k = ceil(rows / m))."""
+        return -(-self.rows // self.granularity)
+
+    @property
+    def n_registers(self) -> int:
+        """Total registers for this matrix (Eq. 9 with S*l = rows*cols)."""
+        return self.n_groups * self.cols
+
+    @property
+    def group_index(self) -> np.ndarray:
+        """Row -> group id, shape (rows,)."""
+        return np.arange(self.rows) // self.granularity
+
+    @property
+    def group_sizes(self) -> np.ndarray:
+        """Weights per group (the last group may be partial)."""
+        return np.bincount(self.group_index, minlength=self.n_groups)
+
+    # ------------------------------------------------------------------
+    # operators
+    # ------------------------------------------------------------------
+    def zeros(self) -> np.ndarray:
+        """A zero register file of shape (n_groups, cols)."""
+        return np.zeros((self.n_groups, self.cols))
+
+    def expand(self, registers: np.ndarray) -> np.ndarray:
+        """Per-group values (n_groups, cols) -> per-weight (rows, cols)."""
+        registers = np.asarray(registers)
+        if registers.shape != (self.n_groups, self.cols):
+            raise ValueError(
+                f"registers must be {(self.n_groups, self.cols)}, "
+                f"got {registers.shape}")
+        return registers[self.group_index]
+
+    def group_sum(self, per_row: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Sum per-row values within each group along ``axis``.
+
+        For a batch of inputs x with shape (..., rows) this returns
+        (..., n_groups): the input sums each register is multiplied by.
+        """
+        per_row = np.asarray(per_row)
+        per_row = np.moveaxis(per_row, axis, -1)
+        if per_row.shape[-1] != self.rows:
+            raise ValueError(
+                f"expected {self.rows} entries on the reduction axis, "
+                f"got {per_row.shape[-1]}")
+        pad = self.n_groups * self.granularity - self.rows
+        if pad:
+            per_row = np.concatenate(
+                [per_row, np.zeros(per_row.shape[:-1] + (pad,))], axis=-1)
+        grouped = per_row.reshape(per_row.shape[:-1] + (self.n_groups,
+                                                        self.granularity))
+        out = grouped.sum(axis=-1)
+        return np.moveaxis(out, -1, axis)
+
+    def group_reduce_weights(self, weights: np.ndarray,
+                             op: str = "mean") -> np.ndarray:
+        """Reduce a (rows, cols) weight matrix to (n_groups, cols).
+
+        ``op`` is ``"mean"`` or ``"sum"``; partial final groups reduce
+        over their actual size.
+        """
+        weights = np.asarray(weights)
+        if weights.shape != (self.rows, self.cols):
+            raise ValueError(
+                f"weights must be {(self.rows, self.cols)}, got {weights.shape}")
+        pad = self.n_groups * self.granularity - self.rows
+        if pad:
+            weights = np.concatenate(
+                [weights, np.zeros((pad, self.cols))], axis=0)
+        grouped = weights.reshape(self.n_groups, self.granularity, self.cols)
+        if op == "sum":
+            return grouped.sum(axis=1)
+        if op == "mean":
+            return grouped.sum(axis=1) / self.group_sizes[:, None]
+        raise ValueError(f"unknown op {op!r}")
+
+    def pad_rows(self, matrix: np.ndarray, fill: float = 0.0) -> np.ndarray:
+        """Zero-pad the row axis up to a whole number of groups."""
+        pad = self.n_groups * self.granularity - self.rows
+        if pad == 0:
+            return np.asarray(matrix)
+        return np.concatenate(
+            [matrix, np.full((pad, self.cols), fill, dtype=np.asarray(matrix).dtype)],
+            axis=0)

@@ -1,0 +1,460 @@
+"""End-to-end deployment: quantize -> VAWO* -> program -> PWT -> evaluate.
+
+This module orchestrates the whole flow of the paper's Fig. 2-4 story
+for an arbitrary trained network:
+
+1. every ``Conv2d`` / ``Linear`` weight tensor is quantized to shifted
+   non-negative n-bit integers (the NTWs) and its crossbar matrix
+   layout and offset plan are derived;
+2. input quantizers are calibrated with a forward pass;
+3. if VAWO is enabled, mean per-weight gradients are estimated on
+   training data and :func:`repro.core.vawo.run_vawo` picks the CTWs,
+   initial offsets and complement flags (otherwise the plain scheme is
+   used);
+4. :meth:`Deployer.program` simulates one programming cycle — fresh CCV
+   noise — and builds a deployed model whose conv/linear layers are
+   :mod:`repro.core.crossbar_layers` instances;
+5. if PWT is enabled, the offsets are tuned on training data.
+
+Calling :meth:`Deployer.program` repeatedly with different seeds gives
+the independent programming cycles the paper averages over (5 trials).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.crossbar_layers import (CrossbarConv2d, CrossbarLinear,
+                                        _CrossbarBase)
+from repro.core.offsets import OffsetPlan
+from repro.core.pwt import PWTConfig, run_pwt
+from repro.core.vawo import VAWOResult, plain_assignment, run_vawo
+from repro.data.loaders import Dataset, iterate_batches
+from repro.device.cell import SLC, CellType
+from repro.device.lut import (DeviceLUT, DeviceModel, build_lut_analytic,
+                              build_lut_monte_carlo)
+from repro.device.variation import VariationModel
+from repro.nn import functional as F
+from repro.nn.layers import Conv2d, Linear, Sequential
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.quant.bitslice import slice_weights
+from repro.quant.quantizer import AffineQuantizer, InputQuantizer
+from repro.utils.logging import get_logger
+from repro.utils.rng import RngLike, derive_seed, make_rng
+
+logger = get_logger(__name__)
+
+
+@dataclass
+class DeployConfig:
+    """Everything that defines a deployment scenario."""
+
+    weight_bits: int = 8
+    input_bits: Optional[int] = 8          # None = no activation quantization
+    cell: CellType = SLC
+    sigma: float = 0.5
+    ddv_fraction: float = 0.0
+    granularity: int = 16                  # the paper's m
+    offset_bits: int = 8
+    use_vawo: bool = False
+    use_complement: bool = False
+    use_pwt: bool = False
+    lut_source: str = "analytic"           # or "monte_carlo"
+    lut_k_sets: int = 32
+    lut_j_cycles: int = 32
+    grad_batches: int = 4
+    grad_batch_size: int = 64
+    grad_floor_frac: float = 0.1
+    bias_tolerance: float = 2.0
+    bn_recalibrate: bool = False    # refresh BatchNorm stats post-writing
+    # Optional stuck-at faults: (sa0_rate, sa1_rate) of cells pinned to
+    # their OFF/ON conductance. Faults are invisible to VAWO (a-priori)
+    # but visible to PWT's read-back — matching real deployments.
+    saf_rates: Optional[Tuple[float, float]] = None
+    pwt: PWTConfig = field(default_factory=PWTConfig)
+
+    METHODS = ("plain", "vawo", "vawo*", "pwt", "vawo*+pwt")
+
+    def __post_init__(self):
+        if self.lut_source not in ("analytic", "monte_carlo"):
+            raise ValueError(f"unknown lut_source {self.lut_source!r}")
+        if self.granularity < 1:
+            raise ValueError("granularity must be positive")
+
+    @classmethod
+    def from_method(cls, method: str, **kwargs) -> "DeployConfig":
+        """Build a config from one of the paper's five scheme names."""
+        flags = {
+            "plain": dict(use_vawo=False, use_complement=False, use_pwt=False),
+            "vawo": dict(use_vawo=True, use_complement=False, use_pwt=False),
+            "vawo*": dict(use_vawo=True, use_complement=True, use_pwt=False),
+            "pwt": dict(use_vawo=False, use_complement=False, use_pwt=True),
+            "vawo*+pwt": dict(use_vawo=True, use_complement=True, use_pwt=True),
+        }
+        if method not in flags:
+            raise ValueError(f"unknown method {method!r}; "
+                             f"choose from {sorted(flags)}")
+        return cls(**{**flags[method], **kwargs})
+
+    @property
+    def method_name(self) -> str:
+        key = (self.use_vawo, self.use_complement, self.use_pwt)
+        return {
+            (False, False, False): "plain",
+            (True, False, False): "vawo",
+            (True, True, False): "vawo*",
+            (False, False, True): "pwt",
+            (True, True, True): "vawo*+pwt",
+            (True, False, True): "vawo+pwt",
+        }.get(key, "custom")
+
+
+# ----------------------------------------------------------------------
+# model traversal helpers
+# ----------------------------------------------------------------------
+def mappable_layers(model: Module) -> List[Tuple[str, Module]]:
+    """The crossbar-mappable layers (Conv2d / Linear), in stable order."""
+    return [(name, mod) for name, mod in model.named_modules()
+            if isinstance(mod, (Conv2d, Linear))]
+
+
+def _replace_module(root: Module, path: str, new: Module) -> None:
+    """Replace the module at dotted ``path`` inside ``root``."""
+    parts = path.split(".")
+    parent = root
+    for part in parts[:-1]:
+        parent = parent._modules[part]
+    leaf = parts[-1]
+    parent._modules[leaf] = new
+    object.__setattr__(parent, leaf, new)
+
+
+def _rebuild_sequentials(root: Module) -> None:
+    """Refresh every Sequential's ordered list after replacements."""
+    for _, mod in root.named_modules():
+        if isinstance(mod, Sequential):
+            mod._seq = [mod._modules[f"m{i}"] for i in range(len(mod._seq))]
+
+
+def weight_to_matrix(weight: np.ndarray) -> np.ndarray:
+    """Layer weight tensor -> crossbar matrix (rows=inputs, cols=outputs)."""
+    weight = np.asarray(weight)
+    if weight.ndim == 2:            # Linear: (out, in) -> (in, out)
+        return weight.T
+    if weight.ndim == 4:            # Conv: (F, C, kh, kw) -> (C*kh*kw, F)
+        return weight.reshape(weight.shape[0], -1).T
+    raise ValueError(f"unsupported weight ndim {weight.ndim}")
+
+
+# ----------------------------------------------------------------------
+# per-layer preparation
+# ----------------------------------------------------------------------
+@dataclass
+class LayerPrep:
+    """Everything VAWO / programming needs for one layer."""
+
+    path: str
+    is_conv: bool
+    kernel_shape: Optional[Tuple[int, ...]]
+    stride: int
+    padding: int
+    ntw: np.ndarray                 # (rows, cols) integers
+    scale: float
+    zero_point: int
+    bias: Optional[np.ndarray]
+    plan: OffsetPlan
+    input_quantizer: Optional[InputQuantizer]
+    grads: Optional[np.ndarray] = None        # (rows, cols) mean gradients
+    assignment: Optional[VAWOResult] = None   # CTW / offsets / complement
+
+
+class _CalibrationShim(Module):
+    """Wraps a layer during calibration to record its input peak."""
+
+    def __init__(self, inner: Module):
+        super().__init__()
+        self.inner = inner
+        self.peak = 0.0
+
+    def forward(self, x: Tensor) -> Tensor:
+        self.peak = max(self.peak, float(np.abs(x.data).max()))
+        return self.inner(x)
+
+
+class Deployer:
+    """Prepares a trained model for crossbar deployment and programs it.
+
+    The expensive, noise-independent work (quantization, calibration,
+    gradient estimation, VAWO) happens once in the constructor; each
+    :meth:`program` call then simulates an independent programming cycle.
+    """
+
+    def __init__(self, model: Module, train_data: Dataset,
+                 config: DeployConfig, rng: RngLike = None):
+        self.model = model
+        self.config = config
+        self.train_data = train_data
+        self._rng = make_rng(rng)
+        self.variation = VariationModel(config.sigma, config.ddv_fraction)
+        self.device = DeviceModel(config.cell, self.variation,
+                                  n_bits=config.weight_bits)
+        if config.saf_rates is not None:
+            from repro.device.faults import FaultyDeviceModel
+            sa0, sa1 = config.saf_rates
+            self.programmer = FaultyDeviceModel(self.device, sa0_rate=sa0,
+                                                sa1_rate=sa1,
+                                                rng=derive_seed(self._rng))
+        else:
+            self.programmer = self.device
+        self.lut = self._build_lut()
+        self.layers: List[LayerPrep] = self._prepare_layers()
+        self._calibrate_inputs()
+        if config.use_vawo:
+            self._estimate_gradients()
+        self._assign_targets()
+
+    # ------------------------------------------------------------------
+    # preparation stages
+    # ------------------------------------------------------------------
+    def _build_lut(self) -> DeviceLUT:
+        if self.config.lut_source == "analytic":
+            return build_lut_analytic(self.device)
+        return build_lut_monte_carlo(self.device, self.config.lut_k_sets,
+                                     self.config.lut_j_cycles, self._rng)
+
+    def _prepare_layers(self) -> List[LayerPrep]:
+        quantizer = AffineQuantizer(self.config.weight_bits)
+        preps = []
+        for path, layer in mappable_layers(self.model):
+            qt = quantizer.quantize(layer.weight.data)
+            ntw = weight_to_matrix(qt.values)
+            plan = OffsetPlan(rows=ntw.shape[0], cols=ntw.shape[1],
+                              granularity=self.config.granularity)
+            is_conv = isinstance(layer, Conv2d)
+            in_q = (InputQuantizer(self.config.input_bits)
+                    if self.config.input_bits else None)
+            preps.append(LayerPrep(
+                path=path, is_conv=is_conv,
+                kernel_shape=tuple(layer.weight.shape) if is_conv else None,
+                stride=getattr(layer, "stride", 1),
+                padding=getattr(layer, "padding", 0),
+                ntw=ntw, scale=qt.scale, zero_point=qt.zero_point,
+                bias=None if layer.bias is None else layer.bias.data.copy(),
+                plan=plan, input_quantizer=in_q))
+        if not preps:
+            raise ValueError("model has no crossbar-mappable layers")
+        return preps
+
+    def _calibrate_inputs(self) -> None:
+        """Record per-layer input peaks on a calibration batch."""
+        if self.config.input_bits is None:
+            return
+        shims: Dict[str, _CalibrationShim] = {}
+        for prep in self.layers:
+            target = self._lookup(self.model, prep.path)
+            shim = _CalibrationShim(target)
+            _replace_module(self.model, prep.path, shim)
+            shims[prep.path] = shim
+        _rebuild_sequentials(self.model)
+        try:
+            self.model.eval()
+            n_cal = min(len(self.train_data), 256)
+            images = self.train_data.images[:n_cal]
+            self.model(Tensor(images))
+        finally:
+            for prep in self.layers:
+                _replace_module(self.model, prep.path, shims[prep.path].inner)
+            _rebuild_sequentials(self.model)
+        for prep in self.layers:
+            prep.input_quantizer.calibrate(np.array(shims[prep.path].peak))
+
+    def _estimate_gradients(self) -> None:
+        """Per-weight loss sensitivity over training batches (Eq. 5).
+
+        The paper weights Var[R(v)] by the squared mean training-set
+        gradient. At a well-trained optimum the mean gradient is ~0 for
+        every weight (that is what training converged to), so its square
+        carries almost no sensitivity information. We therefore estimate
+        the RMS of per-batch gradients — a Fisher-information-style
+        proxy for how strongly the loss reacts to perturbing each weight
+        — which reduces to the paper's quantity away from convergence
+        and stays informative at it. DESIGN.md records this refinement.
+        """
+        self.model.eval()
+        layer_map = dict(mappable_layers(self.model))
+        sq_sums = {prep.path: np.zeros_like(layer_map[prep.path].weight.data)
+                   for prep in self.layers}
+        n_batches = 0
+        for images, labels in iterate_batches(
+                self.train_data, self.config.grad_batch_size,
+                shuffle=True, rng=self._rng):
+            self.model.zero_grad()
+            loss = F.cross_entropy(self.model(Tensor(images)), labels)
+            loss.backward()
+            for prep in self.layers:
+                grad = layer_map[prep.path].weight.grad
+                if grad is not None:
+                    sq_sums[prep.path] += grad ** 2
+            n_batches += 1
+            if n_batches >= self.config.grad_batches:
+                break
+        for prep in self.layers:
+            rms = np.sqrt(sq_sums[prep.path] / max(n_batches, 1))
+            prep.grads = weight_to_matrix(rms)
+        self.model.zero_grad()
+
+    def _assign_targets(self) -> None:
+        for prep in self.layers:
+            if self.config.use_vawo:
+                prep.assignment = run_vawo(
+                    prep.ntw, prep.grads, self.lut, prep.plan,
+                    weight_bits=self.config.weight_bits,
+                    offset_bits=self.config.offset_bits,
+                    use_complement=self.config.use_complement,
+                    grad_floor_frac=self.config.grad_floor_frac,
+                    bias_tolerance=self.config.bias_tolerance)
+            else:
+                prep.assignment = plain_assignment(prep.ntw, prep.plan)
+
+    # ------------------------------------------------------------------
+    # lookup helper
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _lookup(root: Module, path: str) -> Module:
+        mod = root
+        for part in path.split("."):
+            mod = mod._modules[part]
+        return mod
+
+    # ------------------------------------------------------------------
+    # programming / deployment
+    # ------------------------------------------------------------------
+    def _build_deployed(self, cells_per_layer: List[np.ndarray]) -> Module:
+        deployed = copy.deepcopy(self.model)
+        for prep, cells in zip(self.layers, cells_per_layer):
+            common = dict(
+                cells=cells, plan=prep.plan,
+                registers=prep.assignment.registers.astype(np.float64),
+                complement=prep.assignment.complement,
+                cell=self.config.cell, weight_bits=self.config.weight_bits,
+                weight_scale=prep.scale, weight_zero_point=prep.zero_point,
+                input_quantizer=prep.input_quantizer, bias=prep.bias,
+                ntw=prep.ntw, grad_weights=prep.grads)
+            if prep.is_conv:
+                new = CrossbarConv2d(kernel_shape=prep.kernel_shape,
+                                     stride=prep.stride,
+                                     padding=prep.padding, **common)
+            else:
+                new = CrossbarLinear(**common)
+            _replace_module(deployed, prep.path, new)
+        _rebuild_sequentials(deployed)
+        deployed.eval()
+        return deployed
+
+    def program(self, rng: RngLike = None,
+                run_pwt_tuning: Optional[bool] = None) -> Module:
+        """Simulate one programming cycle and return the deployed model.
+
+        Each call redraws the CCV noise (and the DDV component, i.e.
+        each call models a fresh chip unless ``ddv_fraction`` is 0 and
+        it makes no difference). If the config enables PWT it runs here,
+        after writing — pass ``run_pwt_tuning=False`` to skip it.
+        """
+        rng = make_rng(rng if rng is not None else derive_seed(self._rng))
+        cells = [self.programmer.program_cells(prep.assignment.ctw, rng)
+                 for prep in self.layers]
+        deployed = self._build_deployed(cells)
+        if self.config.bn_recalibrate:
+            recalibrate_batchnorm(deployed, self.train_data, rng=rng)
+        do_pwt = self.config.use_pwt if run_pwt_tuning is None else run_pwt_tuning
+        if do_pwt:
+            run_pwt(deployed, self.train_data, self.config.pwt, rng)
+        return deployed
+
+    def ideal_model(self) -> Module:
+        """The noise-free quantized reference (the paper's "ideal" line).
+
+        Weights equal the dequantized NTWs exactly: no variation, no
+        ON/OFF-ratio leak, zero offsets.
+        """
+        cells = [slice_weights(prep.ntw, self.config.weight_bits,
+                               self.config.cell.bits).astype(np.float64)
+                 for prep in self.layers]
+        saved = [(prep.assignment.registers, prep.assignment.complement)
+                 for prep in self.layers]
+        for prep in self.layers:
+            prep_zero = plain_assignment(prep.ntw, prep.plan)
+            prep.assignment = replace(prep.assignment,
+                                      registers=prep_zero.registers,
+                                      complement=prep_zero.complement)
+        try:
+            deployed = self._build_deployed(cells)
+        finally:
+            for prep, (regs, comp) in zip(self.layers, saved):
+                prep.assignment = replace(prep.assignment,
+                                          registers=regs, complement=comp)
+        return deployed
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def total_registers(self) -> int:
+        """Digital-offset register count across all layers (Eq. 9)."""
+        return sum(prep.plan.n_registers for prep in self.layers)
+
+    def layer_matrix_shapes(self) -> List[Tuple[int, int]]:
+        return [(prep.plan.rows, prep.plan.cols) for prep in self.layers]
+
+    def crossbar_count(self, crossbar_size: int = 128) -> int:
+        """Physical 128x128 crossbars this deployment occupies.
+
+        Uses the one-crossbar architecture's tiling (each weight takes
+        ``cells_per_weight`` physical columns).
+        """
+        from repro.xbar.mapper import CrossbarMapper
+
+        mapper = CrossbarMapper(size=crossbar_size,
+                                cells_per_weight=self.device.cells_per_weight)
+        return mapper.count_model(self.layer_matrix_shapes())
+
+
+def recalibrate_batchnorm(model: Module, data: Dataset,
+                          n_batches: int = 8, batch_size: int = 64,
+                          rng: RngLike = None) -> Module:
+    """Refresh BatchNorm running statistics on a deployed model, in place.
+
+    Under weight variation the activation statistics shift, so the
+    BatchNorm layers' stored running mean/var (measured on the clean
+    network) are stale. This utility re-estimates them by running
+    forward passes in training mode *without touching any parameter* —
+    a purely digital, post-deployment calibration that composes with
+    (and is ablated against) PWT. Returns the model for chaining.
+    """
+    from repro.nn.layers import BatchNorm2d
+
+    bns = [m for _, m in model.named_modules() if isinstance(m, BatchNorm2d)]
+    if not bns:
+        return model
+    rng = make_rng(rng)
+    for bn in bns:
+        bn.running_mean[...] = 0.0
+        bn.running_var[...] = 1.0
+    model.train()
+    seen = 0
+    # Cumulative-average momentum so every batch contributes equally.
+    for images, _ in iterate_batches(data, batch_size, shuffle=True, rng=rng):
+        seen += 1
+        for bn in bns:
+            bn.momentum = 1.0 / seen
+        model(Tensor(images))
+        if seen >= n_batches:
+            break
+    for bn in bns:
+        bn.momentum = 0.1
+    model.eval()
+    return model

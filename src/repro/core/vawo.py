@@ -1,0 +1,250 @@
+"""Variation-aware weight optimization (paper Section III-B and III-C).
+
+Given the network target weights (NTWs) ``w*`` of an offset group, VAWO
+chooses the crossbar target weights (CTWs) ``v`` and the group's digital
+offset ``b`` to minimise the first-order expected squared loss increase
+
+``sum_i (dL/dw_i)^2 * Var[R(v_i)]``                            (Eq. 5)
+
+subject to ``E[R(v_i)] + b = w_i*``                            (Eq. 6).
+
+The solver follows the paper exactly: iterate over every 8-bit offset
+candidate, invert the E[R(v)] LUT to satisfy Eq. 6, score with the
+Var[R(v)] LUT, keep the best. Two refinements documented in DESIGN.md:
+
+* because ``v`` is discrete (and the offset range is finite), Eq. 6 can
+  only hold to the nearest representable mean; the residual bias enters
+  the objective per weight as ``g_i^2 * bias_i^2`` — i.e. the objective
+  scores the full expected squared weight deviation
+  ``E[(W_i - w_i*)^2] = Var[R(v_i)] + bias_i^2`` weighted by loss
+  sensitivity, so offsets that would violate Eq. 6 badly for any group
+  member are rejected;
+* weights whose mean gradient is ~0 would make the objective flat, so
+  gradient magnitudes are floored at a small fraction of the layer RMS
+  (``grad_floor_frac``), keeping the variance term meaningful everywhere.
+
+The weight-complement enhancement (Section III-C, "VAWO*") solves the
+same problem a second time for the complemented targets
+``(2^n - 1) - w*`` and keeps whichever problem has the lower optimum,
+per group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.offsets import OffsetPlan
+from repro.device.lut import DeviceLUT
+
+
+@dataclass
+class VAWOResult:
+    """CTWs, registers and complement decisions for one weight matrix."""
+
+    ctw: np.ndarray          # (rows, cols) integer crossbar target weights
+    registers: np.ndarray    # (n_groups, cols) integer offsets
+    complement: np.ndarray   # (n_groups, cols) bool
+    objective: np.ndarray    # (n_groups, cols) achieved objective values
+
+
+@dataclass(frozen=True)
+class _TargetTables:
+    """Per-integer-target lookup tables over t = w* - b.
+
+    ``t`` spans every value the Eq. 6 target ``w* - b`` can take, so the
+    per-offset scoring loop becomes pure table gathers.
+    """
+
+    t_min: int
+    v: np.ndarray       # CTW whose E[R(v)] is nearest t
+    var: np.ndarray     # Var[R(v)] at that CTW
+    bias: np.ndarray    # E[R(v)] - t (the residual Eq. 6 violation)
+
+    def index(self, targets: np.ndarray) -> np.ndarray:
+        return np.asarray(targets) - self.t_min
+
+
+def _build_target_tables(lut: DeviceLUT, qmax: int,
+                         offsets: np.ndarray) -> _TargetTables:
+    t_min = int(0 - offsets.max())
+    t_max = int(qmax - offsets.min())
+    targets = np.arange(t_min, t_max + 1)
+    v = lut.invert(targets)
+    return _TargetTables(t_min=t_min, v=v, var=lut.var[v],
+                         bias=lut.mean[v] - targets)
+
+
+def offset_candidates(offset_bits: int = 8) -> np.ndarray:
+    """All representable signed register values (two's complement)."""
+    if offset_bits < 1:
+        raise ValueError("offset_bits must be >= 1")
+    half = 1 << (offset_bits - 1)
+    return np.arange(-half, half)
+
+
+def _effective_grads(grads: np.ndarray, floor_frac: float) -> np.ndarray:
+    """|mean gradient| with a relative floor (see module docstring)."""
+    g = np.abs(np.asarray(grads, dtype=np.float64))
+    rms = np.sqrt(np.mean(g ** 2))
+    if rms == 0.0:
+        return np.ones_like(g)
+    return np.maximum(g, floor_frac * rms)
+
+
+def _score_offsets(w: np.ndarray, g2: np.ndarray, active: np.ndarray,
+                   tables: _TargetTables, candidates: np.ndarray,
+                   chunk: int,
+                   bias_tolerance: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Best offset per group for padded (k, m, cols) weights/gradients.
+
+    Implements the paper's formulation: Eq. 6 is a *hard* constraint —
+    an offset is feasible only if every group member's target
+    ``w_i - b`` can be met by some CTW to within ``bias_tolerance``
+    (which absorbs LUT discreteness). Among feasible offsets the
+    objective is Eq. 5, ``sum_i g_i^2 Var[R(v_i)]``, plus the (tiny)
+    residual-bias MSE as a tie-breaker. Groups with no feasible offset
+    at all fall back to the minimum of the full expected squared
+    deviation ``sum_i g_i^2 (Var + bias^2)``.
+
+    ``active`` masks padded rows out of the feasibility check. Returns
+    (best_b, best_objective), each (k, cols).
+    """
+    k, m, cols = w.shape
+    best_obj = np.full((k, cols), np.inf)
+    best_b = np.zeros((k, cols), dtype=np.int64)
+    fallback_obj = np.full((k, cols), np.inf)
+    fallback_b = np.zeros((k, cols), dtype=np.int64)
+    base_idx = tables.index(w)                       # (k, m, cols)
+    act = active[None]                               # (1, k, m, cols)
+    for lo in range(0, len(candidates), chunk):
+        bs = candidates[lo:lo + chunk]               # (nb,)
+        idx = base_idx[None] - bs[:, None, None, None]
+        var = tables.var[idx]
+        bias2 = tables.bias[idx] ** 2
+        infeasible = ((bias2 > bias_tolerance ** 2) & act).any(axis=2)
+        obj = (g2[None] * (var + bias2)).sum(axis=2)  # (nb, k, cols)
+
+        arg_f = np.where(infeasible, np.inf, obj).argmin(axis=0)
+        val_f = np.take_along_axis(
+            np.where(infeasible, np.inf, obj), arg_f[None], axis=0)[0]
+        better = val_f < best_obj
+        best_obj = np.where(better, val_f, best_obj)
+        best_b = np.where(better, bs[arg_f], best_b)
+
+        arg_m = obj.argmin(axis=0)
+        val_m = np.take_along_axis(obj, arg_m[None], axis=0)[0]
+        better_m = val_m < fallback_obj
+        fallback_obj = np.where(better_m, val_m, fallback_obj)
+        fallback_b = np.where(better_m, bs[arg_m], fallback_b)
+
+    no_feasible = ~np.isfinite(best_obj)
+    best_obj = np.where(no_feasible, fallback_obj, best_obj)
+    best_b = np.where(no_feasible, fallback_b, best_b)
+    return best_b, best_obj
+
+
+def run_vawo(ntw: np.ndarray, grads: np.ndarray, lut: DeviceLUT,
+             plan: OffsetPlan, weight_bits: int = 8, offset_bits: int = 8,
+             use_complement: bool = False, grad_floor_frac: float = 0.1,
+             bias_tolerance: float = 2.0,
+             offset_chunk: int = 16, col_chunk: int = 128) -> VAWOResult:
+    """Solve VAWO (optionally VAWO*) for one weight matrix.
+
+    Parameters
+    ----------
+    ntw:
+        Network target weights, integer (rows, cols) in [0, 2^n - 1]
+        (already ISAAC-shifted).
+    grads:
+        Mean loss gradient per weight, same shape (any consistent scale;
+        only relative magnitudes within a group matter).
+    lut:
+        Device characterisation (E[R(v)], Var[R(v)]).
+    plan:
+        Offset sharing layout.
+    use_complement:
+        Enable the Section III-C weight-complement enhancement (VAWO*).
+    bias_tolerance:
+        How far (in integer weight units) E[R(v)] + b may miss w* before
+        an offset candidate is deemed infeasible (Eq. 6 violation).
+    offset_chunk / col_chunk:
+        Vectorisation block sizes (memory/speed trade-off only).
+    """
+    ntw = np.asarray(ntw)
+    grads = np.asarray(grads, dtype=np.float64)
+    if ntw.shape != (plan.rows, plan.cols) or grads.shape != ntw.shape:
+        raise ValueError("ntw/grads shape must match the offset plan")
+    qmax = (1 << weight_bits) - 1
+    if ntw.min() < 0 or ntw.max() > qmax:
+        raise ValueError(f"ntw out of [0, {qmax}]")
+    if len(lut) != qmax + 1:
+        raise ValueError("LUT size inconsistent with weight_bits")
+
+    candidates = offset_candidates(offset_bits)
+    tables = _build_target_tables(lut, qmax, candidates)
+    # Floored gradient magnitudes keep the objective informative where
+    # the mean gradient vanishes.
+    g_mag = _effective_grads(grads, grad_floor_frac)
+
+    k, m = plan.n_groups, plan.granularity
+    registers = np.zeros((k, plan.cols), dtype=np.int64)
+    complement = np.zeros((k, plan.cols), dtype=bool)
+    objective = np.full((k, plan.cols), np.inf)
+    ctw = np.zeros((plan.rows, plan.cols), dtype=np.int64)
+
+    # Pad the row axis to whole groups; padded grads are 0 so padded
+    # rows never influence the objective.
+    w_pad = plan.pad_rows(ntw.astype(np.int64))
+    gmag_pad = plan.pad_rows(g_mag, fill=0.0)
+    active_pad = plan.pad_rows(np.ones_like(ntw, dtype=np.float64),
+                               fill=0.0).astype(bool)
+    rows_pad = k * m
+
+    for c0 in range(0, plan.cols, col_chunk):
+        c1 = min(c0 + col_chunk, plan.cols)
+        w_blk = w_pad[:, c0:c1].reshape(k, m, c1 - c0)
+        g2_blk = gmag_pad[:, c0:c1].reshape(k, m, c1 - c0) ** 2
+        act_blk = active_pad[:, c0:c1].reshape(k, m, c1 - c0)
+
+        best_b, best_obj = _score_offsets(w_blk, g2_blk, act_blk, tables,
+                                          candidates, offset_chunk,
+                                          bias_tolerance)
+        comp_blk = np.zeros_like(best_b, dtype=bool)
+        if use_complement:
+            w_comp = qmax - w_blk
+            b_c, obj_c = _score_offsets(w_comp, g2_blk, act_blk, tables,
+                                        candidates, offset_chunk,
+                                        bias_tolerance)
+            use_c = obj_c < best_obj
+            best_obj = np.where(use_c, obj_c, best_obj)
+            best_b = np.where(use_c, b_c, best_b)
+            comp_blk = use_c
+
+        registers[:, c0:c1] = best_b
+        complement[:, c0:c1] = comp_blk
+        objective[:, c0:c1] = best_obj
+
+        # Recover the CTWs for the winning offsets.
+        eff_w = np.where(comp_blk[:, None, :], qmax - w_blk, w_blk)
+        t_idx = tables.index(eff_w - best_b[:, None, :])
+        v_blk = tables.v[t_idx].reshape(rows_pad, c1 - c0)
+        ctw[:, c0:c1] = v_blk[:plan.rows]
+
+    return VAWOResult(ctw=ctw, registers=registers, complement=complement,
+                      objective=objective)
+
+
+def plain_assignment(ntw: np.ndarray, plan: OffsetPlan) -> VAWOResult:
+    """The paper's plain scheme: CTW = NTW, zero offsets, no complement."""
+    ntw = np.asarray(ntw)
+    if ntw.shape != (plan.rows, plan.cols):
+        raise ValueError("ntw shape must match the offset plan")
+    return VAWOResult(
+        ctw=ntw.astype(np.int64).copy(),
+        registers=np.zeros((plan.n_groups, plan.cols), dtype=np.int64),
+        complement=np.zeros((plan.n_groups, plan.cols), dtype=bool),
+        objective=np.full((plan.n_groups, plan.cols), np.nan),
+    )

@@ -1,0 +1,11 @@
+"""Synthetic datasets standing in for MNIST / CIFAR-10 (see DESIGN.md §2)."""
+
+from repro.data.augment import (add_noise, augment_dataset, horizontal_flip,
+                                random_shift)
+from repro.data.loaders import Dataset, iterate_batches
+from repro.data.synthetic import synthetic_cifar, synthetic_digits
+
+__all__ = [
+    "Dataset", "iterate_batches", "synthetic_digits", "synthetic_cifar",
+    "add_noise", "random_shift", "horizontal_flip", "augment_dataset",
+]

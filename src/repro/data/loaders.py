@@ -1,0 +1,55 @@
+"""Dataset containers and batch iteration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, make_rng
+
+
+@dataclass
+class Dataset:
+    """An in-memory labelled dataset (images NCHW, integer labels)."""
+
+    images: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self):
+        if len(self.images) != len(self.labels):
+            raise ValueError(
+                f"images ({len(self.images)}) and labels ({len(self.labels)}) "
+                "must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def split(self, train_fraction: float,
+              rng: RngLike = None) -> Tuple["Dataset", "Dataset"]:
+        """Shuffle and split into (train, test)."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError("train_fraction must be in (0, 1)")
+        rng = make_rng(rng)
+        order = rng.permutation(len(self))
+        cut = int(len(self) * train_fraction)
+        tr, te = order[:cut], order[cut:]
+        return (Dataset(self.images[tr], self.labels[tr]),
+                Dataset(self.images[te], self.labels[te]))
+
+    def subset(self, n: int) -> "Dataset":
+        """First ``n`` samples (useful for quick gradient estimation passes)."""
+        return Dataset(self.images[:n], self.labels[:n])
+
+
+def iterate_batches(dataset: Dataset, batch_size: int, shuffle: bool = True,
+                    rng: RngLike = None) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield (images, labels) minibatches covering the dataset once."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    n = len(dataset)
+    order = make_rng(rng).permutation(n) if shuffle else np.arange(n)
+    for start in range(0, n, batch_size):
+        idx = order[start:start + batch_size]
+        yield dataset.images[idx], dataset.labels[idx]

@@ -1,0 +1,77 @@
+"""Memristor cell models: SLC and multi-level cells with finite ON/OFF ratio.
+
+A cell programmed to level ``c`` (0 .. 2^bits - 1) has nominal
+conductance between ``G_off`` and ``G_on``. We work in *weight units*
+normalised so a fully-ON cell contributes its maximum level value: with
+ON/OFF ratio ``r`` and maximum level ``C``,
+
+``u(c) = C / r + c * (1 - 1/r)``
+
+so ``u(C) = C`` and ``u(0) = C / r > 0`` — the paper's finite ON/OFF
+ratio of 200 means even an "off" device leaks a small current, which is
+part of what the digital offset compensates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CellType:
+    """A memristor cell technology.
+
+    Parameters
+    ----------
+    bits:
+        Bits stored per cell (1 = SLC, 2 = 2-bit MLC, ...).
+    on_off_ratio:
+        ``G_on / G_off``; the paper uses 200.
+    """
+
+    bits: int
+    on_off_ratio: float = 200.0
+
+    def __post_init__(self):
+        if self.bits < 1:
+            raise ValueError(f"cell bits must be >= 1, got {self.bits}")
+        if self.on_off_ratio <= 1:
+            raise ValueError("ON/OFF ratio must exceed 1")
+
+    @property
+    def levels(self) -> int:
+        """Number of programmable resistance states."""
+        return 1 << self.bits
+
+    @property
+    def max_level(self) -> int:
+        return self.levels - 1
+
+    def conductance(self, level: np.ndarray) -> np.ndarray:
+        """Nominal conductance of each ``level`` in weight units.
+
+        Linear conductance spacing between ``G_off`` and ``G_on``
+        (the usual MLC target-state design), normalised so the top
+        level equals ``max_level``.
+        """
+        level = np.asarray(level, dtype=np.float64)
+        if np.any(level < 0) or np.any(level > self.max_level):
+            raise ValueError(f"levels must be in [0, {self.max_level}]")
+        c_max = float(self.max_level)
+        r = self.on_off_ratio
+        return c_max / r + level * (1.0 - 1.0 / r)
+
+    def read_power(self, level: np.ndarray) -> np.ndarray:
+        """Relative read power of each level.
+
+        At fixed read voltage, power is proportional to conductance
+        (P = V^2 G) — this is what Table I's "reading power" measures:
+        higher-resistance states draw less read power.
+        """
+        return self.conductance(level)
+
+
+SLC = CellType(bits=1)
+MLC2 = CellType(bits=2)

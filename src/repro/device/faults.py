@@ -1,0 +1,124 @@
+"""Stuck-at-fault (SAF) injection.
+
+The paper positions digital offsets against Zhang & Hu's ASP-DAC'20
+compensation scheme, which targets *stuck-at faults* rather than
+resistance variation: fabrication defects pin a cell permanently to its
+lowest (stuck-at-0 / high resistance) or highest (stuck-at-1 / low
+resistance) conductance regardless of what is programmed. Real arrays
+exhibit both SAFs and variation, so this module adds an SAF layer on
+top of :class:`~repro.device.lut.DeviceModel`: a deployment can then
+measure how much of the SAF damage the (group-shared) offsets recover —
+the extension studied in ``benchmarks/bench_faults.py``.
+
+Typical published SAF rates are ~1-10% of cells, split roughly 1:5
+between stuck-at-1 and stuck-at-0 (SA0 dominates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.device.cell import CellType
+from repro.device.lut import DeviceModel
+from repro.utils.rng import RngLike, make_rng
+
+
+@dataclass(frozen=True)
+class FaultMap:
+    """Persistent per-cell fault state of one crossbar region."""
+
+    stuck_at_0: np.ndarray      # bool, cell pinned to the OFF conductance
+    stuck_at_1: np.ndarray      # bool, cell pinned to the ON conductance
+
+    def __post_init__(self):
+        if self.stuck_at_0.shape != self.stuck_at_1.shape:
+            raise ValueError("fault masks must have identical shapes")
+        if (self.stuck_at_0 & self.stuck_at_1).any():
+            raise ValueError("a cell cannot be stuck at both levels")
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.stuck_at_0.shape
+
+    @property
+    def fault_rate(self) -> float:
+        total = self.stuck_at_0.size
+        return float((self.stuck_at_0.sum() + self.stuck_at_1.sum()) / total)
+
+    def apply(self, conductances: np.ndarray, cell: CellType) -> np.ndarray:
+        """Pin faulty cells; healthy cells pass through unchanged."""
+        if conductances.shape != self.shape:
+            raise ValueError(
+                f"conductance shape {conductances.shape} does not match "
+                f"fault map shape {self.shape}")
+        out = np.array(conductances, copy=True)
+        g_off = cell.conductance(np.zeros(1))[0]
+        g_on = cell.conductance(np.array([cell.max_level]))[0]
+        out[self.stuck_at_0] = g_off
+        out[self.stuck_at_1] = g_on
+        return out
+
+
+def sample_fault_map(shape: Tuple[int, ...], sa0_rate: float,
+                     sa1_rate: float, rng: RngLike = None) -> FaultMap:
+    """Draw a random persistent fault map for a cell array."""
+    if sa0_rate < 0 or sa1_rate < 0 or sa0_rate + sa1_rate > 1:
+        raise ValueError("fault rates must be non-negative and sum <= 1")
+    rng = make_rng(rng)
+    u = rng.random(shape)
+    return FaultMap(stuck_at_0=u < sa0_rate,
+                    stuck_at_1=(u >= sa0_rate) & (u < sa0_rate + sa1_rate))
+
+
+@dataclass
+class FaultyDeviceModel:
+    """A :class:`DeviceModel` wrapper that injects SAFs after programming.
+
+    The fault map is persistent (a property of the chip), so one wrapper
+    instance reuses its map across programming cycles; variation is
+    still redrawn per cycle by the wrapped model. Because the faults are
+    visible in the post-writing read-back, PWT's compensation applies to
+    them exactly as it does to variation.
+    """
+
+    device: DeviceModel
+    sa0_rate: float = 0.05
+    sa1_rate: float = 0.01
+    rng: RngLike = None
+
+    def __post_init__(self):
+        self._rng = make_rng(self.rng)
+        self._maps = {}
+
+    @property
+    def cells_per_weight(self) -> int:
+        return self.device.cells_per_weight
+
+    @property
+    def qmax(self) -> int:
+        return self.device.qmax
+
+    def fault_map_for(self, shape: Tuple[int, ...]) -> FaultMap:
+        """The persistent fault map of the region holding ``shape`` cells."""
+        key = tuple(shape)
+        if key not in self._maps:
+            self._maps[key] = sample_fault_map(shape, self.sa0_rate,
+                                               self.sa1_rate, self._rng)
+        return self._maps[key]
+
+    def program_cells(self, values: np.ndarray, rng: RngLike = None,
+                      ddv_theta: Optional[np.ndarray] = None) -> np.ndarray:
+        """Program with variation, then pin the stuck cells."""
+        noisy = self.device.program_cells(values, rng, ddv_theta=ddv_theta)
+        fault_map = self.fault_map_for(noisy.shape)
+        return fault_map.apply(noisy, self.device.cell)
+
+    def program(self, values: np.ndarray, rng: RngLike = None,
+                ddv_theta: Optional[np.ndarray] = None) -> np.ndarray:
+        """Weight-level view of :meth:`program_cells`."""
+        from repro.quant.bitslice import assemble_weights
+        cells = self.program_cells(values, rng, ddv_theta=ddv_theta)
+        return assemble_weights(cells, self.device.cell.bits)

@@ -1,0 +1,169 @@
+"""Device characterisation: the E[R(v)] / Var[R(v)] look-up tables.
+
+VAWO (paper Section III-B) needs, for every possible crossbar target
+weight ``v``, the mean and variance of the crossbar real weight
+``R(v)`` that results from programming ``v`` under variation. The paper
+obtains them by *statistical testing*: program K random device sets J
+times each and measure. We implement exactly that
+(:func:`build_lut_monte_carlo`) plus the closed-form lognormal moments
+(:func:`build_lut_analytic`) that the Monte-Carlo table converges to —
+the test suite checks their agreement.
+
+The same module provides :class:`DeviceModel`, the end-to-end
+"program an integer weight, get a noisy real weight back" simulator
+used everywhere else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.device.cell import CellType
+from repro.device.variation import VariationModel
+from repro.quant.bitslice import (assemble_weights, cell_significances,
+                                  num_cells, slice_weights)
+from repro.utils.rng import RngLike, make_rng
+
+
+@dataclass
+class DeviceModel:
+    """A weight-level device simulator: CTW in, CRW out.
+
+    Combines a :class:`CellType` (bit slicing + finite ON/OFF ratio) and
+    a :class:`VariationModel` (lognormal DDV/CCV). An n-bit weight ``v``
+    is sliced into cells, each cell's nominal conductance is perturbed
+    independently, and the noisy cells are reassembled:
+
+    ``R(v) = sum_k 2^(k * cell_bits) * u(c_k) * exp(theta_k)``.
+    """
+
+    cell: CellType
+    variation: VariationModel
+    n_bits: int = 8
+
+    def __post_init__(self):
+        if self.n_bits < self.cell.bits:
+            raise ValueError("weight bit-width smaller than one cell")
+
+    @property
+    def cells_per_weight(self) -> int:
+        return num_cells(self.n_bits, self.cell.bits)
+
+    @property
+    def qmax(self) -> int:
+        return (1 << self.n_bits) - 1
+
+    # ------------------------------------------------------------------
+    # programming
+    # ------------------------------------------------------------------
+    def nominal_cells(self, values: np.ndarray) -> np.ndarray:
+        """Nominal per-cell conductances for integer weights ``values``."""
+        digits = slice_weights(values, self.n_bits, self.cell.bits)
+        return self.cell.conductance(digits)
+
+    def program(self, values: np.ndarray, rng: RngLike = None,
+                ddv_theta: Optional[np.ndarray] = None) -> np.ndarray:
+        """Program integer weights once; return the resulting CRWs.
+
+        Each call models one programming cycle: the CCV component is
+        redrawn, so repeated calls with the same ``values`` return
+        different CRWs (the paper's cycle-to-cycle behaviour).
+        """
+        rng = make_rng(rng)
+        nominal = self.nominal_cells(values)
+        noisy = self.variation.perturb(nominal, rng, ddv_theta=ddv_theta)
+        return assemble_weights(noisy, self.cell.bits)
+
+    def program_cells(self, values: np.ndarray, rng: RngLike = None,
+                      ddv_theta: Optional[np.ndarray] = None) -> np.ndarray:
+        """Like :meth:`program` but return the noisy per-cell conductances."""
+        rng = make_rng(rng)
+        nominal = self.nominal_cells(values)
+        return self.variation.perturb(nominal, rng, ddv_theta=ddv_theta)
+
+    # ------------------------------------------------------------------
+    # exact moments
+    # ------------------------------------------------------------------
+    def exact_mean(self, values: np.ndarray) -> np.ndarray:
+        """Closed-form E[R(v)] for lognormal cell noise."""
+        nominal = self.nominal_cells(np.asarray(values))
+        sig = cell_significances(self.n_bits, self.cell.bits)
+        return self.variation.mean_factor() * (nominal * sig).sum(axis=-1)
+
+    def exact_var(self, values: np.ndarray) -> np.ndarray:
+        """Closed-form Var[R(v)]: cells are independent, so variances add."""
+        nominal = self.nominal_cells(np.asarray(values))
+        sig = cell_significances(self.n_bits, self.cell.bits)
+        return self.variation.variance_factor() * ((nominal * sig) ** 2).sum(axis=-1)
+
+
+class DeviceLUT:
+    """Mean / variance of R(v) for every writable value v, with inversion.
+
+    ``invert(target)`` answers VAWO's constraint (Eq. 6): find the CTW
+    ``v`` whose expected CRW is closest to ``target``. Works for
+    arbitrary (possibly non-monotone, e.g. Monte-Carlo-estimated) mean
+    tables via a sorted binary search.
+    """
+
+    def __init__(self, mean: np.ndarray, var: np.ndarray):
+        mean = np.asarray(mean, dtype=np.float64)
+        var = np.asarray(var, dtype=np.float64)
+        if mean.shape != var.shape or mean.ndim != 1:
+            raise ValueError("mean and var must be equal-length 1-D arrays")
+        if np.any(var < 0):
+            raise ValueError("variances must be non-negative")
+        self.mean = mean
+        self.var = var
+        self._order = np.argsort(mean, kind="stable")
+        self._sorted_mean = mean[self._order]
+
+    def __len__(self) -> int:
+        return len(self.mean)
+
+    @property
+    def n_values(self) -> int:
+        return len(self.mean)
+
+    def invert(self, targets: np.ndarray) -> np.ndarray:
+        """Value(s) v whose E[R(v)] is nearest each target (vectorised)."""
+        targets = np.asarray(targets, dtype=np.float64)
+        idx = np.searchsorted(self._sorted_mean, targets)
+        lo = np.clip(idx - 1, 0, len(self.mean) - 1)
+        hi = np.clip(idx, 0, len(self.mean) - 1)
+        pick_hi = (np.abs(self._sorted_mean[hi] - targets) <
+                   np.abs(self._sorted_mean[lo] - targets))
+        chosen = np.where(pick_hi, hi, lo)
+        return self._order[chosen]
+
+    def residual(self, targets: np.ndarray) -> np.ndarray:
+        """``E[R(invert(t))] - t``: the bias VAWO cannot remove."""
+        return self.mean[self.invert(targets)] - np.asarray(targets)
+
+
+def build_lut_analytic(device: DeviceModel) -> DeviceLUT:
+    """Exact lognormal-moment LUT over all 2^n writable values."""
+    values = np.arange(device.qmax + 1)
+    return DeviceLUT(device.exact_mean(values), device.exact_var(values))
+
+
+def build_lut_monte_carlo(device: DeviceModel, k_sets: int = 16,
+                          j_cycles: int = 16,
+                          rng: RngLike = None) -> DeviceLUT:
+    """The paper's statistical-testing procedure (Section III-B).
+
+    For each value ``v``, ``k_sets`` random device sets are programmed
+    ``j_cycles`` times each; the K*J measured CRWs give the empirical
+    E[R(v)] and Var[R(v)]. (With the lognormal model all devices are
+    exchangeable, so the K sets are simply K*J independent programmings.)
+    """
+    rng = make_rng(rng)
+    n_samples = k_sets * j_cycles
+    values = np.arange(device.qmax + 1)
+    # Program the full value range n_samples times: shape (S, 2^n).
+    tiled = np.broadcast_to(values, (n_samples, len(values)))
+    crws = device.program(tiled, rng)
+    return DeviceLUT(crws.mean(axis=0), crws.var(axis=0))

@@ -1,0 +1,100 @@
+"""Resistance variation models: lognormal DDV + CCV.
+
+The paper (Section IV, citing Grossi et al., IEDM'16) models the actual
+conductance as lognormal around the nominal value:
+
+``G_actual = G_nominal * exp(theta)``, ``theta ~ N(0, sigma^2)``.
+
+``theta`` lumps device-to-device variation (DDV — a persistent,
+per-device term fixed at fabrication) and cycle-to-cycle variation
+(CCV — redrawn at every programming cycle). The paper's own method
+never needs to distinguish them (it measures the total deviation after
+writing), but baselines like priority mapping rely on the persistent
+DDV component, so :class:`VariationModel` exposes the split via
+``ddv_fraction`` (fraction of the total *variance* that is DDV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, make_rng
+
+
+@dataclass
+class VariationModel:
+    """Lognormal conductance variation with a DDV/CCV variance split.
+
+    Parameters
+    ----------
+    sigma:
+        Total standard deviation of ``theta`` (paper sweeps 0.2 — 1.0).
+    ddv_fraction:
+        Fraction of ``sigma^2`` attributed to the persistent DDV term.
+        The paper's experiments lump everything together (pure CCV
+        behaviour from the method's point of view), so the default is 0.
+    """
+
+    sigma: float
+    ddv_fraction: float = 0.0
+
+    def __post_init__(self):
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {self.sigma}")
+        if not 0.0 <= self.ddv_fraction <= 1.0:
+            raise ValueError("ddv_fraction must be in [0, 1]")
+
+    @property
+    def sigma_ddv(self) -> float:
+        return self.sigma * np.sqrt(self.ddv_fraction)
+
+    @property
+    def sigma_ccv(self) -> float:
+        return self.sigma * np.sqrt(1.0 - self.ddv_fraction)
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def sample_ddv(self, shape: Tuple[int, ...], rng: RngLike = None) -> np.ndarray:
+        """Draw the persistent per-device theta component (once per chip)."""
+        rng = make_rng(rng)
+        if self.sigma_ddv == 0:
+            return np.zeros(shape)
+        return rng.normal(0.0, self.sigma_ddv, size=shape)
+
+    def sample_ccv(self, shape: Tuple[int, ...], rng: RngLike = None) -> np.ndarray:
+        """Draw the per-programming-cycle theta component."""
+        rng = make_rng(rng)
+        if self.sigma_ccv == 0:
+            return np.zeros(shape)
+        return rng.normal(0.0, self.sigma_ccv, size=shape)
+
+    def perturb(self, nominal: np.ndarray, rng: RngLike = None,
+                ddv_theta: Optional[np.ndarray] = None) -> np.ndarray:
+        """Apply one programming cycle's variation to nominal conductances.
+
+        ``ddv_theta`` (if given) is the persistent component from
+        :meth:`sample_ddv`; a fresh CCV draw is added on top.
+        """
+        rng = make_rng(rng)
+        theta = self.sample_ccv(np.shape(nominal), rng)
+        if ddv_theta is not None:
+            theta = theta + ddv_theta
+        elif self.sigma_ddv > 0:
+            theta = theta + self.sample_ddv(np.shape(nominal), rng)
+        return np.asarray(nominal) * np.exp(theta)
+
+    # ------------------------------------------------------------------
+    # closed-form lognormal moments (used by the analytic LUT)
+    # ------------------------------------------------------------------
+    def mean_factor(self) -> float:
+        """E[exp(theta)] = exp(sigma^2 / 2)."""
+        return float(np.exp(self.sigma ** 2 / 2.0))
+
+    def variance_factor(self) -> float:
+        """Var[exp(theta)] = exp(sigma^2) * (exp(sigma^2) - 1)."""
+        s2 = self.sigma ** 2
+        return float(np.exp(s2) * (np.exp(s2) - 1.0))

@@ -1,0 +1,20 @@
+"""Evaluation harness: trial-averaged accuracy and named experiments."""
+
+from repro.eval.accuracy import (TrialResult, evaluate_deployment,
+                                 ideal_accuracy)
+from repro.eval.analysis import (LayerErrorStats, analyze_deployment,
+                                 layer_error_stats, render_markdown)
+from repro.eval.experiments import (AccuracyRow, ComparisonRow, Workload,
+                                    build_workload, run_fig5_accuracy,
+                                    run_fig5c, run_table1, run_table2,
+                                    run_table3, workload_names)
+
+__all__ = [
+    "TrialResult", "evaluate_deployment", "ideal_accuracy",
+    "Workload", "build_workload", "workload_names",
+    "AccuracyRow", "ComparisonRow",
+    "run_fig5_accuracy", "run_fig5c",
+    "run_table1", "run_table2", "run_table3",
+    "LayerErrorStats", "analyze_deployment", "layer_error_stats",
+    "render_markdown",
+]

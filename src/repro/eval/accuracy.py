@@ -1,0 +1,65 @@
+"""Repeated-trial accuracy evaluation under device variation.
+
+The paper repeats every experiment 5 times with fresh CCV draws and
+reports the average (Section IV). :func:`evaluate_deployment` does
+exactly that around a :class:`repro.core.pipeline.Deployer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.pipeline import Deployer
+from repro.data.loaders import Dataset
+from repro.nn.trainer import evaluate_accuracy
+from repro.utils.rng import RngLike, spawn_rngs
+
+
+@dataclass
+class TrialResult:
+    """Accuracy statistics over independent programming cycles."""
+
+    accuracies: List[float]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.accuracies))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.accuracies))
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.accuracies)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4f} ± {self.std:.4f} ({self.n_trials} trials)"
+
+
+def evaluate_deployment(deployer: Deployer, test_data: Dataset,
+                        n_trials: int = 5, rng: RngLike = None,
+                        batch_size: int = 256) -> TrialResult:
+    """Program the crossbars ``n_trials`` times and score each deployment.
+
+    Each trial redraws all programming noise (the paper's cycle-to-cycle
+    behaviour) and, if the deployer's config enables it, reruns PWT —
+    PWT is post-writing, so it must adapt to every fresh write.
+    """
+    if n_trials < 1:
+        raise ValueError("n_trials must be >= 1")
+    rngs = spawn_rngs(rng, n_trials)
+    accuracies = []
+    for trial_rng in rngs:
+        deployed = deployer.program(rng=trial_rng)
+        accuracies.append(evaluate_accuracy(deployed, test_data, batch_size))
+    return TrialResult(accuracies=accuracies)
+
+
+def ideal_accuracy(deployer: Deployer, test_data: Dataset,
+                   batch_size: int = 256) -> float:
+    """Accuracy of the noise-free quantized reference model."""
+    return evaluate_accuracy(deployer.ideal_model(), test_data, batch_size)

@@ -1,0 +1,23 @@
+"""Loss functions as Module objects (the paper trains with cross-entropy)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class CrossEntropyLoss(Module):
+    """Mean cross-entropy over integer class labels (expects raw logits)."""
+
+    def forward(self, logits: Tensor, labels: np.ndarray) -> Tensor:
+        return F.cross_entropy(logits, labels)
+
+
+class MSELoss(Module):
+    """Mean squared error."""
+
+    def forward(self, pred: Tensor, target: Tensor) -> Tensor:
+        return F.mse_loss(pred, target)

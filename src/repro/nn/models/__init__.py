@@ -1,0 +1,9 @@
+"""Network architectures used by the paper's evaluation."""
+
+from repro.nn.models.lenet import LeNet
+from repro.nn.models.resnet import (ResNet, resnet18, resnet18_slim,
+                                    resnet_tiny)
+from repro.nn.models.vgg import VGG, vgg16, vgg16_slim
+
+__all__ = ["LeNet", "ResNet", "resnet18", "resnet18_slim", "resnet_tiny",
+           "VGG", "vgg16", "vgg16_slim"]

@@ -1,0 +1,42 @@
+"""LeNet-5, the paper's MNIST workload (Fig. 5(a), Table I)."""
+
+from __future__ import annotations
+
+from repro.nn.layers import (Conv2d, Flatten, Linear, MaxPool2d, ReLU,
+                             Sequential)
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.utils.rng import RngLike, make_rng
+
+
+class LeNet(Module):
+    """LeNet-5 for 1x28x28 inputs.
+
+    Structure follows the classic design: two 5x5 conv stages with 2x2
+    pooling followed by the 120-84-``num_classes`` dense head. All
+    conv/linear layers are crossbar-mappable (see
+    :mod:`repro.core.crossbar_layers`).
+    """
+
+    def __init__(self, num_classes: int = 10, rng: RngLike = None):
+        super().__init__()
+        rng = make_rng(rng)
+        self.features = Sequential(
+            Conv2d(1, 6, kernel_size=5, padding=2, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(6, 16, kernel_size=5, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+        )
+        self.classifier = Sequential(
+            Flatten(),
+            Linear(16 * 5 * 5, 120, rng=rng),
+            ReLU(),
+            Linear(120, 84, rng=rng),
+            ReLU(),
+            Linear(84, num_classes, rng=rng),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.features(x))

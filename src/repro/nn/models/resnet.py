@@ -1,0 +1,95 @@
+"""ResNet-18 (CIFAR-style stem), the paper's second workload.
+
+The paper evaluates ResNet-18 on CIFAR-10 (Fig. 5(b), 5(c)). We provide
+the faithful architecture plus a width-scaled "slim" variant used by the
+CPU-bound benchmark harness; the digital-offset machinery is agnostic to
+width (it operates per crossbar column), so the slim model preserves
+every qualitative behaviour the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.nn.layers import (BatchNorm2d, Conv2d, GlobalAvgPool2d, Identity,
+                             Linear, ReLU, Sequential)
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.utils.rng import RngLike, make_rng
+
+
+class BasicBlock(Module):
+    """Two 3x3 conv-BN stages with an identity (or 1x1-projected) shortcut."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 rng: RngLike = None):
+        super().__init__()
+        rng = make_rng(rng)
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride,
+                            padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.conv2 = Conv2d(out_channels, out_channels, 3, padding=1,
+                            bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = Sequential(
+                Conv2d(in_channels, out_channels, 1, stride=stride,
+                       bias=False, rng=rng),
+                BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        return (out + self.shortcut(x)).relu()
+
+
+class ResNet(Module):
+    """ResNet with BasicBlocks and a CIFAR stem (3x3 conv, no initial pool)."""
+
+    def __init__(self, blocks_per_stage: List[int], num_classes: int = 10,
+                 base_width: int = 64, in_channels: int = 3,
+                 rng: RngLike = None):
+        super().__init__()
+        rng = make_rng(rng)
+        widths = [base_width * (2 ** i) for i in range(len(blocks_per_stage))]
+        self.stem = Sequential(
+            Conv2d(in_channels, widths[0], 3, padding=1, bias=False, rng=rng),
+            BatchNorm2d(widths[0]),
+            ReLU(),
+        )
+        stages = []
+        in_ch = widths[0]
+        for stage_idx, (width, n_blocks) in enumerate(zip(widths, blocks_per_stage)):
+            for block_idx in range(n_blocks):
+                stride = 2 if (stage_idx > 0 and block_idx == 0) else 1
+                stages.append(BasicBlock(in_ch, width, stride=stride, rng=rng))
+                in_ch = width
+        self.stages = Sequential(*stages)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(in_ch, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.stem(x)
+        x = self.stages(x)
+        x = self.pool(x)
+        return self.fc(x)
+
+
+def resnet18(num_classes: int = 10, rng: RngLike = None) -> ResNet:
+    """The faithful ResNet-18 configuration ([2, 2, 2, 2], base width 64)."""
+    return ResNet([2, 2, 2, 2], num_classes=num_classes, base_width=64, rng=rng)
+
+
+def resnet18_slim(num_classes: int = 10, base_width: int = 8,
+                  rng: RngLike = None) -> ResNet:
+    """Width-scaled ResNet-18 for CPU-bound benchmarking (same topology)."""
+    return ResNet([2, 2, 2, 2], num_classes=num_classes,
+                  base_width=base_width, rng=rng)
+
+
+def resnet_tiny(num_classes: int = 10, rng: RngLike = None) -> ResNet:
+    """A 2-stage residual net for fast unit tests."""
+    return ResNet([1, 1], num_classes=num_classes, base_width=4, rng=rng)

@@ -1,0 +1,68 @@
+"""VGG-16, the workload used in the paper's Table III comparison.
+
+The paper compares against PM / DVA+PM on VGG-16 with CIFAR-10. We
+provide the faithful configuration-D network (13 conv + 3 FC layers)
+plus a width-scaled slim variant for CPU-bound benchmarking.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.nn.layers import (BatchNorm2d, Conv2d, Flatten, Linear, MaxPool2d,
+                             ReLU, Sequential)
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.utils.rng import RngLike, make_rng
+
+# Configuration D from Simonyan & Zisserman; "M" is a 2x2 max pool.
+VGG16_CONFIG: List[Union[int, str]] = [
+    64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+    512, 512, 512, "M", 512, 512, 512, "M",
+]
+
+
+class VGG(Module):
+    """VGG-style network with BatchNorm, sized for 32x32 inputs."""
+
+    def __init__(self, config: List[Union[int, str]], num_classes: int = 10,
+                 width_scale: float = 1.0, in_channels: int = 3,
+                 rng: RngLike = None):
+        super().__init__()
+        rng = make_rng(rng)
+        layers: List[Module] = []
+        ch = in_channels
+        for item in config:
+            if item == "M":
+                layers.append(MaxPool2d(2))
+            else:
+                out_ch = max(1, int(item * width_scale))
+                layers.append(Conv2d(ch, out_ch, 3, padding=1, bias=False, rng=rng))
+                layers.append(BatchNorm2d(out_ch))
+                layers.append(ReLU())
+                ch = out_ch
+        self.features = Sequential(*layers)
+        hidden = max(4, int(512 * width_scale))
+        self.classifier = Sequential(
+            Flatten(),
+            Linear(ch, hidden, rng=rng),
+            ReLU(),
+            Linear(hidden, hidden, rng=rng),
+            ReLU(),
+            Linear(hidden, num_classes, rng=rng),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.features(x))
+
+
+def vgg16(num_classes: int = 10, rng: RngLike = None) -> VGG:
+    """Faithful VGG-16 (configuration D) for 32x32 inputs."""
+    return VGG(VGG16_CONFIG, num_classes=num_classes, rng=rng)
+
+
+def vgg16_slim(num_classes: int = 10, width_scale: float = 0.125,
+               rng: RngLike = None) -> VGG:
+    """Width-scaled VGG-16 for CPU-bound benchmarking (same depth)."""
+    return VGG(VGG16_CONFIG, num_classes=num_classes,
+               width_scale=width_scale, rng=rng)

@@ -1,0 +1,11 @@
+"""Quantization and bit slicing for RRAM crossbar deployment."""
+
+from repro.quant.bitslice import (assemble_weights, cell_significances,
+                                  num_cells, slice_weights)
+from repro.quant.quantizer import (AffineQuantizer, InputQuantizer,
+                                   QuantizedTensor)
+
+__all__ = [
+    "AffineQuantizer", "InputQuantizer", "QuantizedTensor",
+    "slice_weights", "assemble_weights", "num_cells", "cell_significances",
+]

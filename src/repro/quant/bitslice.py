@@ -1,0 +1,58 @@
+"""Bit slicing: splitting integer weights across SLC / MLC cells.
+
+An n-bit weight is stored across ``ceil(n / cell_bits)`` memristor
+cells; the crossbar computes one partial dot product per cell column and
+the shift-and-add unit reassembles them (Fig. 1(b) of the paper). SLC
+cells hold 1 bit, 2-bit MLC cells hold 2 bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def num_cells(n_bits: int, cell_bits: int) -> int:
+    """Number of cells needed per weight."""
+    if cell_bits < 1 or n_bits < 1:
+        raise ValueError("bit widths must be positive")
+    return -(-n_bits // cell_bits)  # ceil division
+
+
+def slice_weights(values: np.ndarray, n_bits: int, cell_bits: int) -> np.ndarray:
+    """Split unsigned integer ``values`` into per-cell digits.
+
+    Returns an array of shape ``values.shape + (num_cells,)`` where index
+    ``k`` along the last axis holds the base-``2^cell_bits`` digit of
+    significance ``k`` (little-endian: cell 0 is least significant).
+    """
+    values = np.asarray(values)
+    if np.any(values < 0) or np.any(values > (1 << n_bits) - 1):
+        raise ValueError(f"values out of range for {n_bits}-bit weights")
+    k = num_cells(n_bits, cell_bits)
+    radix = 1 << cell_bits
+    digits = np.empty(values.shape + (k,), dtype=np.int64)
+    remaining = values.astype(np.int64)
+    for i in range(k):
+        digits[..., i] = remaining % radix
+        remaining = remaining // radix
+    return digits
+
+
+def assemble_weights(digits: np.ndarray, cell_bits: int) -> np.ndarray:
+    """Inverse of :func:`slice_weights` (works on float digits too).
+
+    Accepting floats lets the same routine reassemble *noisy analog*
+    cell read-outs into the crossbar real weight (CRW).
+    """
+    digits = np.asarray(digits)
+    k = digits.shape[-1]
+    weights = np.zeros(digits.shape[:-1], dtype=np.float64)
+    for i in range(k):
+        weights += digits[..., i] * float(1 << (cell_bits * i))
+    return weights
+
+
+def cell_significances(n_bits: int, cell_bits: int) -> np.ndarray:
+    """The positional multiplier ``2^(cell_bits * k)`` of each cell."""
+    k = num_cells(n_bits, cell_bits)
+    return np.array([1 << (cell_bits * i) for i in range(k)], dtype=np.float64)

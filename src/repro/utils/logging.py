@@ -1,0 +1,33 @@
+"""Minimal logging setup shared across the library.
+
+We use the stdlib ``logging`` module with a library-wide namespace so
+applications can control verbosity with one call:
+``logging.getLogger("repro").setLevel(logging.INFO)``.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s: %(message)s"
+_configured = False
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    ``name`` is typically ``__name__`` of the calling module; anything
+    outside the ``repro`` package is nested under it.
+    """
+    global _configured
+    if not _configured:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root = logging.getLogger("repro")
+        if not root.handlers:
+            root.addHandler(handler)
+        root.setLevel(logging.WARNING)
+        _configured = True
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

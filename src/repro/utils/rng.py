@@ -1,0 +1,48 @@
+"""Reproducible random number generation.
+
+Every stochastic component in the library (dataset synthesis, weight
+initialisation, device variation injection, Monte-Carlo LUT building)
+draws from a :class:`numpy.random.Generator` produced here, so whole
+experiments are reproducible from a single integer seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+import numpy as np
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator``.
+
+    Accepts an integer seed, an existing generator (returned unchanged),
+    or ``None`` (fresh OS-entropy generator). This lets every public API
+    take a single ``seed`` argument that callers can satisfy with
+    whatever they have at hand.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: RngLike, n: int) -> List[np.random.Generator]:
+    """Derive ``n`` independent child generators from one seed.
+
+    Used when an experiment needs statistically independent streams for
+    its repeated trials (e.g. the 5 programming cycles the paper averages
+    over) while staying reproducible from one top-level seed.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    root = make_rng(seed)
+    return [np.random.default_rng(s) for s in root.bit_generator.seed_seq.spawn(n)] \
+        if hasattr(root.bit_generator, "seed_seq") and root.bit_generator.seed_seq is not None \
+        else [np.random.default_rng(root.integers(0, 2**63)) for _ in range(n)]
+
+
+def derive_seed(rng: np.random.Generator) -> int:
+    """Draw a fresh 63-bit seed from ``rng`` for handing to subcomponents."""
+    return int(rng.integers(0, 2**63))

@@ -1,0 +1,48 @@
+"""Save/load helpers for model parameters and experiment artifacts.
+
+Everything is stored with ``numpy.savez`` (portable, no pickle of code
+objects) plus a small JSON sidecar for non-array metadata.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping
+
+import numpy as np
+
+
+def save_arrays(path: str, arrays: Mapping[str, np.ndarray],
+                metadata: Mapping[str, Any] = None) -> None:
+    """Save a named family of arrays (e.g. a model state dict) to ``path``.
+
+    ``path`` gets a ``.npz`` suffix if it has none; metadata (JSON-able
+    scalars only) is stored alongside as ``<path>.json``.
+    """
+    p = Path(path)
+    if p.suffix != ".npz":
+        p = p.with_suffix(".npz")
+    p.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(p, **{k: np.asarray(v) for k, v in arrays.items()})
+    if metadata is not None:
+        p.with_suffix(".json").write_text(json.dumps(dict(metadata), indent=2))
+
+
+def load_arrays(path: str) -> Dict[str, np.ndarray]:
+    """Load arrays saved by :func:`save_arrays`."""
+    p = Path(path)
+    if p.suffix != ".npz":
+        p = p.with_suffix(".npz")
+    with np.load(p) as data:
+        return {k: data[k] for k in data.files}
+
+
+def load_metadata(path: str) -> Dict[str, Any]:
+    """Load the JSON metadata sidecar written by :func:`save_arrays`."""
+    p = Path(path)
+    if p.suffix == ".npz":
+        p = p.with_suffix(".json")
+    elif p.suffix != ".json":
+        p = p.with_suffix(".json")
+    return json.loads(p.read_text())

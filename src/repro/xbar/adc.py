@@ -1,0 +1,55 @@
+"""Analog-to-digital conversion of bitline currents.
+
+ISAAC reads one cell column per cycle through a sample-and-hold and a
+shared ADC. We model a uniform quantizer with saturating full scale;
+``bits=None`` gives an ideal (lossless) converter, which is the setting
+under which the bit-accurate engine provably matches the fast float
+evaluation path (see tests/xbar/test_engine_equivalence.py).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class ADC:
+    """Uniform quantizing ADC with configurable resolution.
+
+    Parameters
+    ----------
+    bits:
+        Resolution; ``None`` means ideal (identity).
+    full_scale:
+        Largest representable input current; larger inputs saturate.
+        Required when ``bits`` is set.
+    """
+
+    def __init__(self, bits: Optional[int] = None,
+                 full_scale: Optional[float] = None):
+        if bits is not None:
+            if bits < 1:
+                raise ValueError("ADC bits must be >= 1")
+            if full_scale is None or full_scale <= 0:
+                raise ValueError("a quantizing ADC needs a positive full_scale")
+        self.bits = bits
+        self.full_scale = full_scale
+
+    @property
+    def ideal(self) -> bool:
+        return self.bits is None
+
+    @property
+    def step(self) -> float:
+        if self.ideal:
+            raise ValueError("ideal ADC has no quantization step")
+        return self.full_scale / ((1 << self.bits) - 1)
+
+    def convert(self, current: np.ndarray) -> np.ndarray:
+        """Digitise ``current``; returns values on the quantizer grid."""
+        current = np.asarray(current, dtype=np.float64)
+        if self.ideal:
+            return current
+        clipped = np.clip(current, 0.0, self.full_scale)
+        return np.round(clipped / self.step) * self.step

@@ -1,0 +1,91 @@
+"""One-crossbar vs two-crossbar weight-storage schemes.
+
+The two-crossbar architecture (PRIME-style) stores positive and
+negative weights in separate arrays and subtracts their currents; the
+one-crossbar architecture (ISAAC-style, used by the paper) shifts all
+weights non-negative and subtracts ``shift * sum(x)`` digitally. The
+paper's Table III normalises hardware cost by the number of devices
+needed per weight; this module provides both layouts and that metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.xbar.mapper import CrossbarMapper
+
+
+@dataclass(frozen=True)
+class SchemeCost:
+    """Device cost of a weight-storage scheme."""
+
+    devices_per_weight: int
+    crossbars_per_matrix: int
+
+
+class OneCrossbarScheme:
+    """Shifted non-negative storage: one array per weight matrix.
+
+    ``cells_per_weight`` devices represent a weight; the shift is undone
+    digitally. This is the architecture the paper's method targets.
+    """
+
+    def __init__(self, cells_per_weight: int, crossbar_size: int = 128):
+        self.cells_per_weight = cells_per_weight
+        self.mapper = CrossbarMapper(size=crossbar_size,
+                                     cells_per_weight=cells_per_weight)
+
+    def devices_per_weight(self) -> int:
+        return self.cells_per_weight
+
+    def cost(self, rows: int, cols: int) -> SchemeCost:
+        return SchemeCost(self.cells_per_weight, self.mapper.count(rows, cols))
+
+    def split(self, q_shifted: np.ndarray) -> np.ndarray:
+        """Identity — shifted weights are stored directly."""
+        return np.asarray(q_shifted)
+
+
+class TwoCrossbarScheme:
+    """Positive/negative split storage: a crossbar pair per matrix.
+
+    A signed integer weight q is stored as (max(q, 0), max(-q, 0)); the
+    output is the current difference. Doubles the device count — the
+    implicit fault-tolerance-for-cost trade the paper argues against.
+    """
+
+    def __init__(self, cells_per_weight: int, crossbar_size: int = 128):
+        self.cells_per_weight = cells_per_weight
+        self.mapper = CrossbarMapper(size=crossbar_size,
+                                     cells_per_weight=cells_per_weight)
+
+    def devices_per_weight(self) -> int:
+        return 2 * self.cells_per_weight
+
+    def cost(self, rows: int, cols: int) -> SchemeCost:
+        return SchemeCost(2 * self.cells_per_weight,
+                          2 * self.mapper.count(rows, cols))
+
+    def split(self, q_signed: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Signed integers -> (positive array, negative array)."""
+        q = np.asarray(q_signed)
+        return np.maximum(q, 0), np.maximum(-q, 0)
+
+    def combine(self, z_pos: np.ndarray, z_neg: np.ndarray) -> np.ndarray:
+        """Subtract the negative crossbar's output current."""
+        return np.asarray(z_pos) - np.asarray(z_neg)
+
+
+def normalized_crossbar_number(devices_per_weight: int,
+                               baseline_devices_per_weight: int) -> float:
+    """Table III's metric: crossbar count relative to a baseline scheme.
+
+    "The number of crossbars needed is roughly proportional to the
+    number of devices used to represent a weight" (Section IV-C2).
+    """
+    if baseline_devices_per_weight < 1 or devices_per_weight < 1:
+        raise ValueError("device counts must be positive")
+    return devices_per_weight / baseline_devices_per_weight

@@ -1,0 +1,89 @@
+"""A physical RRAM crossbar array.
+
+Holds one conductance value per (wordline, bitline) cell — in the
+normalised "weight units" of :mod:`repro.device.cell` — and computes
+Kirchhoff-law column currents for a given wordline drive vector. The
+paper's power-saving constraint that only a limited number of wordlines
+are activated per cycle (Section III-A) is modelled by
+:meth:`Crossbar.vmm_grouped`, which processes the rows in activation
+groups and reports the per-group partial currents the digital-offset
+adder trees consume.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class Crossbar:
+    """An R x C array of programmable conductances."""
+
+    def __init__(self, rows: int, cols: int):
+        if rows < 1 or cols < 1:
+            raise ValueError("crossbar dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+        self._g = np.zeros((rows, cols))
+
+    @property
+    def conductances(self) -> np.ndarray:
+        """The stored conductance matrix (weight units)."""
+        return self._g
+
+    def write(self, conductances: np.ndarray) -> None:
+        """Store a full conductance image (shape must match exactly)."""
+        conductances = np.asarray(conductances, dtype=np.float64)
+        if conductances.shape != (self.rows, self.cols):
+            raise ValueError(
+                f"expected shape {(self.rows, self.cols)}, got {conductances.shape}")
+        if np.any(conductances < 0):
+            raise ValueError("conductances must be non-negative")
+        self._g = conductances.copy()
+
+    def write_region(self, conductances: np.ndarray, row0: int = 0,
+                     col0: int = 0) -> None:
+        """Store a sub-image with its top-left corner at (row0, col0)."""
+        conductances = np.asarray(conductances, dtype=np.float64)
+        r, c = conductances.shape
+        if row0 < 0 or col0 < 0 or row0 + r > self.rows or col0 + c > self.cols:
+            raise ValueError("region does not fit in the crossbar")
+        if np.any(conductances < 0):
+            raise ValueError("conductances must be non-negative")
+        self._g[row0:row0 + r, col0:col0 + c] = conductances
+
+    def vmm(self, x: np.ndarray, active_rows: Optional[np.ndarray] = None) -> np.ndarray:
+        """Column currents for drive vector(s) ``x``.
+
+        ``x`` has shape (..., rows); rows outside ``active_rows`` (a
+        boolean mask or index array) contribute nothing. Returns
+        (..., cols).
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[-1] != self.rows:
+            raise ValueError(f"drive vector needs {self.rows} entries")
+        if active_rows is not None:
+            mask = np.zeros(self.rows, dtype=bool)
+            mask[active_rows] = True
+            x = x * mask
+        return x @ self._g
+
+    def vmm_grouped(self, x: np.ndarray, group_rows: int) -> np.ndarray:
+        """Per-activation-group partial currents.
+
+        Splits the rows into consecutive groups of ``group_rows``
+        (activating one group per cycle, as in the paper) and returns
+        shape (..., n_groups, cols) — the partial sums that are later
+        accumulated, and to which per-group digital offsets are added.
+        """
+        if group_rows < 1:
+            raise ValueError("group_rows must be >= 1")
+        x = np.asarray(x, dtype=np.float64)
+        n_groups = -(-self.rows // group_rows)
+        out = np.empty(x.shape[:-1] + (n_groups, self.cols))
+        for gi in range(n_groups):
+            lo = gi * group_rows
+            hi = min(lo + group_rows, self.rows)
+            out[..., gi, :] = x[..., lo:hi] @ self._g[lo:hi]
+        return out

@@ -1,0 +1,155 @@
+"""Bit-accurate crossbar inference engine for one weight matrix.
+
+This models the full ISAAC-style datapath of Fig. 1(b) and Fig. 4:
+
+* inputs are quantized and fed bit-serially (1 input bit per cycle);
+* each weight is bit-sliced across ``cells_per_weight`` physical columns;
+* only ``m`` wordlines (one activation group) are driven per cycle;
+* each cell-column current passes through the ADC;
+* shift-and-add accumulates over input bits and cell significance;
+* the digital-offset path adds ``b_g * sum(x in group g)`` (Eq. 7);
+* complemented groups are post-processed as ``(2^n - 1) * sum(x) - z'``
+  (Section III-C);
+* the ISAAC weight shift subtracts ``zero_point * sum(x)`` at the end.
+
+With an ideal ADC the result equals the fast float path used by
+:mod:`repro.core.crossbar_layers` exactly (up to float rounding) — the
+equivalence is asserted in the test suite. With a finite-resolution ADC
+this engine supports the readout ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from repro.device.cell import CellType
+from repro.quant.bitslice import cell_significances
+from repro.xbar.adc import ADC
+
+if TYPE_CHECKING:  # runtime import would create a repro.core <-> repro.xbar cycle
+    from repro.core.offsets import OffsetPlan
+
+
+@dataclass
+class CrossbarEngine:
+    """Executes VMM for one deployed weight matrix, cycle-faithfully.
+
+    Parameters
+    ----------
+    cells:
+        Noisy per-cell conductances, shape (rows, cols, n_cells) — the
+        output of :meth:`repro.device.DeviceModel.program_cells`.
+    plan:
+        Offset sharing plan (rows grouped at granularity m).
+    registers:
+        Digital offsets, shape (n_groups, cols), integer-valued.
+    complement:
+        Boolean mask (n_groups, cols): groups stored in complement form.
+    cell:
+        Cell technology (for significances).
+    weight_bits / input_bits:
+        Bit widths of weights and inputs (both 8 in the paper).
+    weight_scale / weight_zero_point / input_scale:
+        Dequantization parameters.
+    adc:
+        ADC applied to every cell-column group current.
+    """
+
+    cells: np.ndarray
+    plan: "OffsetPlan"
+    registers: np.ndarray
+    complement: np.ndarray
+    cell: CellType
+    weight_bits: int = 8
+    input_bits: int = 8
+    weight_scale: float = 1.0
+    weight_zero_point: int = 0
+    input_scale: float = 1.0
+    adc: Optional[ADC] = None
+
+    def __post_init__(self):
+        rows, cols, n_cells = self.cells.shape
+        if (rows, cols) != (self.plan.rows, self.plan.cols):
+            raise ValueError("cells shape does not match the offset plan")
+        expected = (self.plan.n_groups, self.plan.cols)
+        if self.registers.shape != expected:
+            raise ValueError(f"registers must be {expected}")
+        if self.complement.shape != expected:
+            raise ValueError(f"complement mask must be {expected}")
+        if self.adc is None:
+            self.adc = ADC()
+        self._significance = cell_significances(self.weight_bits, self.cell.bits)
+        if len(self._significance) != n_cells:
+            raise ValueError("cell count inconsistent with bit widths")
+
+    @property
+    def weight_qmax(self) -> int:
+        return (1 << self.weight_bits) - 1
+
+    @property
+    def input_qmax(self) -> int:
+        return (1 << self.input_bits) - 1
+
+    def quantize_inputs(self, x: np.ndarray) -> np.ndarray:
+        """Float activations -> integer input codes."""
+        return np.clip(np.round(np.asarray(x) / self.input_scale),
+                       0, self.input_qmax).astype(np.int64)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the full pipeline on float activations (N, rows) -> (N, cols)."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        xq = self.quantize_inputs(x)                        # (N, rows)
+        n, rows = xq.shape
+        m = self.plan.granularity
+        k = self.plan.n_groups
+        cols = self.plan.cols
+
+        # Per-group integer input sums (the adder-tree outputs).
+        group_x_sum = self.plan.group_sum(xq.astype(np.float64))  # (N, k)
+
+        # Bit-serial, group-at-a-time analog accumulation.
+        z_groups = np.zeros((n, k, cols))
+        for bit in range(self.input_bits):
+            x_bit = ((xq >> bit) & 1).astype(np.float64)    # (N, rows)
+            weight = float(1 << bit)
+            for gi in range(k):
+                lo = gi * m
+                hi = min(lo + m, rows)
+                drive = x_bit[:, lo:hi]                     # (N, mg)
+                cells_g = self.cells[lo:hi]                 # (mg, cols, n_cells)
+                # One ADC conversion per cell column per cycle.
+                currents = np.einsum("nr,rck->nck", drive, cells_g,
+                                     optimize=True)
+                converted = self.adc.convert(currents)
+                z_groups[:, gi, :] += weight * (converted @ self._significance)
+
+        # Digital offset path: b_g * sum(x in group g).
+        z_groups += group_x_sum[:, :, None] * self.registers[None, :, :]
+
+        # Complement post-processing per group.
+        comp = self.complement[None, :, :]
+        full = self.weight_qmax * group_x_sum[:, :, None]
+        z_groups = np.where(comp, full - z_groups, z_groups)
+
+        # Sum groups, undo the ISAAC weight shift, dequantize.
+        z = z_groups.sum(axis=1)                            # (N, cols)
+        total_x = xq.sum(axis=1, keepdims=True).astype(np.float64)
+        z = z - self.weight_zero_point * total_x
+        return self.input_scale * self.weight_scale * z
+
+    def effective_weights(self) -> np.ndarray:
+        """The float weight matrix this engine implements (ideal-ADC view).
+
+        Reassembles noisy cells into CRWs, applies offsets and
+        complement, and dequantizes — the fast evaluation path's W.
+        """
+        crw = self.cells @ self._significance               # (rows, cols)
+        q_eff = crw + self.plan.expand(self.registers)
+        comp_rows = self.plan.expand(self.complement.astype(np.float64))
+        q_eff = comp_rows * (self.weight_qmax - q_eff) + (1 - comp_rows) * q_eff
+        return self.weight_scale * (q_eff - self.weight_zero_point)

@@ -1,0 +1,59 @@
+"""Table II overhead model."""
+
+import pytest
+
+from repro.arch.area import (OverheadBreakdown, sum_multiply_latency_ok,
+                             tile_overhead)
+
+
+class TestTileOverhead:
+    def test_paper_m16_totals(self):
+        """Table II, m=16: 0.049 mm^2 (13.3%), 8.05 mW (2.4%)."""
+        o = tile_overhead(16)
+        assert abs(o.total_area_mm2 - 0.049) < 0.002
+        assert abs(o.total_power_mw - 8.05) < 0.4
+        assert abs(o.area_overhead_fraction - 0.133) < 0.01
+        assert abs(o.power_overhead_fraction - 0.024) < 0.003
+
+    def test_paper_m128_totals(self):
+        """Table II, m=128: 0.064 mm^2 (17.2%), 22.77 mW (6.9%)."""
+        o = tile_overhead(128)
+        assert abs(o.total_area_mm2 - 0.064) < 0.002
+        assert abs(o.total_power_mw - 22.77) < 0.8
+        assert abs(o.area_overhead_fraction - 0.172) < 0.01
+        assert abs(o.power_overhead_fraction - 0.069) < 0.005
+
+    def test_overhead_grows_with_granularity(self):
+        """The paper's trend: adder growth outpaces register savings."""
+        assert tile_overhead(128).total_area_mm2 > \
+            tile_overhead(16).total_area_mm2
+        assert tile_overhead(128).total_power_mw > \
+            tile_overhead(16).total_power_mw
+
+    def test_registers_shrink_with_granularity(self):
+        assert tile_overhead(128).register_area_mm2 < \
+            tile_overhead(16).register_area_mm2
+
+    def test_adders_grow_with_granularity(self):
+        assert tile_overhead(128).adder_area_mm2 > \
+            tile_overhead(16).adder_area_mm2
+
+    def test_multiplier_cost_fixed(self):
+        assert tile_overhead(16).multiplier_area_mm2 == \
+            tile_overhead(128).multiplier_area_mm2
+
+    def test_as_dict_keys(self):
+        d = tile_overhead(16).as_dict()
+        assert {"granularity", "total_area_mm2", "total_power_mw",
+                "area_overhead", "power_overhead"} <= set(d)
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ValueError):
+            tile_overhead(0)
+
+
+class TestLatency:
+    def test_pipeline_integration_claim(self):
+        """Section IV-B2: Sum+Multi fits in the 100 ns cycle for all m."""
+        for m in (16, 64, 128):
+            assert sum_multiply_latency_ok(m)

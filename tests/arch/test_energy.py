@@ -1,0 +1,51 @@
+"""Table I reading-power model."""
+
+import numpy as np
+import pytest
+
+from repro.arch.energy import reading_power, relative_reading_power
+from repro.device.cell import MLC2, SLC
+
+
+class TestReadingPower:
+    def test_higher_values_more_power(self):
+        low = reading_power(np.full(10, 10), MLC2)
+        high = reading_power(np.full(10, 240), MLC2)
+        assert high > low
+
+    def test_zero_weights_still_leak(self):
+        """Finite ON/OFF ratio: even all-zero weights draw read power."""
+        assert reading_power(np.zeros(10, dtype=int), MLC2) > 0
+
+    def test_linear_in_duplication(self):
+        v = np.array([1, 2, 3])
+        single = reading_power(v, SLC)
+        double = reading_power(np.concatenate([v, v]), SLC)
+        np.testing.assert_allclose(double, 2 * single)
+
+    def test_relative_below_one_when_ctw_smaller(self):
+        ntw = np.full((8, 4), 255)    # all cells fully ON
+        ctw = np.full((8, 4), 5)      # mostly OFF cells
+        rel = relative_reading_power([ctw], [ntw], MLC2)
+        assert rel < 1.0
+
+    def test_relative_identity(self):
+        w = np.arange(32).reshape(8, 4)
+        assert relative_reading_power([w], [w], MLC2) == pytest.approx(1.0)
+
+    def test_layer_list_validation(self):
+        with pytest.raises(ValueError):
+            relative_reading_power([np.ones((2, 2), dtype=int)], [], MLC2)
+        with pytest.raises(ValueError):
+            relative_reading_power([], [], MLC2)
+
+    def test_vawo_deployment_reduces_power(self, trained_tiny_mlp, blob_data):
+        """The Table I effect end-to-end: VAWO* CTWs read cheaper."""
+        from repro.arch.energy import deployment_reading_power
+        from repro.core import DeployConfig, Deployer
+
+        cfg = DeployConfig.from_method("vawo*", sigma=0.5, cell=MLC2,
+                                       granularity=8)
+        deployer = Deployer(trained_tiny_mlp, blob_data, cfg, rng=0)
+        rel = deployment_reading_power(deployer)
+        assert 0.1 < rel < 1.0

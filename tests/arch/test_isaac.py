@@ -1,0 +1,35 @@
+"""ISAAC tile parameters."""
+
+import pytest
+
+from repro.arch.isaac import DEFAULT_TILE, ISAACTile
+
+
+class TestISAACTile:
+    def test_published_anchors(self):
+        assert DEFAULT_TILE.area_mm2 == 0.372
+        assert DEFAULT_TILE.power_mw == 330.0
+        assert DEFAULT_TILE.cycle_ns == 100.0
+
+    def test_crossbars_per_tile(self):
+        assert DEFAULT_TILE.crossbars_per_tile == 96
+
+    def test_cells_per_weight(self):
+        assert DEFAULT_TILE.cells_per_weight == 4     # 8-bit on 2-bit MLCs
+
+    def test_weight_cols_per_crossbar(self):
+        assert DEFAULT_TILE.weight_cols_per_crossbar == 32
+
+    def test_paper_register_counts(self):
+        """Section IV-B2: 256 registers at m=16, 32 at m=128."""
+        assert DEFAULT_TILE.offset_registers_per_crossbar(16) == 256
+        assert DEFAULT_TILE.offset_registers_per_crossbar(128) == 32
+
+    def test_register_count_invalid_granularity(self):
+        with pytest.raises(ValueError):
+            DEFAULT_TILE.offset_registers_per_crossbar(0)
+
+    def test_custom_tile(self):
+        tile = ISAACTile(crossbar_size=64, cell_bits=1)
+        assert tile.cells_per_weight == 8
+        assert tile.weight_cols_per_crossbar == 8

@@ -1,0 +1,52 @@
+"""Cycle-count / latency model."""
+
+import pytest
+
+from repro.arch.latency import (granularity_tradeoff, layer_latency,
+                                layer_vmm_cycles, model_latency)
+
+
+class TestCycles:
+    def test_full_activation_baseline(self):
+        # 128 rows, all wordlines active: 8 input bits x 1 group.
+        assert layer_vmm_cycles(128, granularity=128) == 8
+
+    def test_paper_example_m16(self):
+        """128x128 crossbar, 16 wordlines per cycle -> 8x the cycles."""
+        assert layer_vmm_cycles(128, granularity=16) == 8 * 8
+
+    def test_halving_m_doubles_cycles(self):
+        assert layer_vmm_cycles(128, 32) == 2 * layer_vmm_cycles(128, 64)
+
+    def test_row_tiles_run_in_parallel(self):
+        # Beyond one crossbar, extra row tiles are parallel hardware.
+        assert layer_vmm_cycles(512, 16) == layer_vmm_cycles(128, 16)
+
+    def test_small_layer(self):
+        assert layer_vmm_cycles(25, granularity=16) == 8 * 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            layer_vmm_cycles(0, 16)
+
+
+class TestLatency:
+    def test_nanoseconds_use_tile_clock(self):
+        est = layer_latency(128, 128)
+        assert est.nanoseconds == est.cycles * 100.0
+        assert est.microseconds == pytest.approx(est.nanoseconds / 1e3)
+
+    def test_model_latency_sums_layers(self):
+        total = model_latency([128, 128], 16)
+        single = layer_latency(128, 16).nanoseconds
+        assert total == 2 * single
+
+    def test_tradeoff_monotone(self):
+        """Latency falls and registers shrink as m grows — the paper's
+        'finer sharing costs more cycles' statement, quantified."""
+        rows = [25, 150, 400, 120, 84]      # LeNet's matrices
+        table = granularity_tradeoff(rows, granularities=(16, 64, 128))
+        latencies = [t[1] for t in table]
+        registers = [t[2] for t in table]
+        assert latencies[0] > latencies[1] > latencies[2]
+        assert registers[0] > registers[1] > registers[2]

@@ -1,0 +1,119 @@
+"""PM unary-coding baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.pm import (PM_DEVICES_PER_WEIGHT, PMConfig, UnaryCoder,
+                                _order_cells_by_reliability, deploy_pm)
+from repro.nn.trainer import evaluate_accuracy
+from tests.conftest import make_blob_dataset
+
+
+class TestUnaryCoder:
+    def test_levels_per_polarity(self):
+        assert PMConfig().levels_per_polarity == 15   # 5 cells x level 3
+
+    def test_devices_per_weight(self):
+        assert PM_DEVICES_PER_WEIGHT == 10
+
+    def test_encode_spreads_greedily(self):
+        coder = UnaryCoder(PMConfig())
+        mag = np.array([7 * coder.scale])
+        cells = coder.encode_magnitude(mag)
+        np.testing.assert_array_equal(cells[0], [3, 3, 1, 0, 0])
+
+    def test_encode_zero(self):
+        coder = UnaryCoder(PMConfig())
+        np.testing.assert_array_equal(
+            coder.encode_magnitude(np.array([0.0]))[0], np.zeros(5))
+
+    def test_encode_saturates_at_max(self):
+        coder = UnaryCoder(PMConfig())
+        cells = coder.encode_magnitude(np.array([1e9]))
+        np.testing.assert_array_equal(cells[0], [3, 3, 3, 3, 3])
+
+    def test_roundtrip_quantization_error(self, rng):
+        coder = UnaryCoder(PMConfig())
+        mags = rng.uniform(0, 127, size=200)
+        decoded = coder.decode(coder.encode_magnitude(mags).astype(float))
+        assert np.abs(decoded - mags).max() <= coder.scale / 2 + 1e-9
+
+    def test_levels_within_cell_range(self, rng):
+        coder = UnaryCoder(PMConfig())
+        cells = coder.encode_magnitude(rng.uniform(0, 127, size=100))
+        assert cells.min() >= 0 and cells.max() <= 3
+
+
+class TestPriorityMapping:
+    def test_charge_lands_on_reliable_devices(self):
+        cells = np.array([[3, 2, 0, 0, 0]])
+        ddv = np.array([[0.9, 0.1, 0.5, 0.05, 0.7]])
+        mapped = _order_cells_by_reliability(cells, ddv)
+        # Best devices (|theta| 0.05 then 0.1) get the largest levels.
+        np.testing.assert_array_equal(mapped[0], [0, 2, 0, 3, 0])
+
+    def test_total_charge_preserved(self, rng):
+        cells = rng.integers(0, 4, size=(20, 5))
+        ddv = rng.normal(size=(20, 5))
+        mapped = _order_cells_by_reliability(cells, ddv)
+        np.testing.assert_array_equal(mapped.sum(axis=1), cells.sum(axis=1))
+
+
+class TestDeployPM:
+    def test_structure_replaced(self, trained_tiny_mlp):
+        from repro.baselines.pm import PMLinear
+        deployed = deploy_pm(trained_tiny_mlp, PMConfig(sigma=0.3), rng=0)
+        linears = [m for _, m in deployed.named_modules()
+                   if isinstance(m, PMLinear)]
+        assert len(linears) == 2
+
+    def test_zero_sigma_near_exact(self, trained_tiny_mlp, blob_data):
+        cfg = PMConfig(sigma=0.0)
+        deployed = deploy_pm(trained_tiny_mlp, cfg, rng=0)
+        ref = evaluate_accuracy(trained_tiny_mlp, blob_data)
+        acc = evaluate_accuracy(deployed, blob_data)
+        assert acc >= ref - 0.05
+
+    def test_original_untouched(self, trained_tiny_mlp):
+        before = {n: p.data.copy()
+                  for n, p in trained_tiny_mlp.named_parameters()}
+        deploy_pm(trained_tiny_mlp, PMConfig(sigma=0.8), rng=0)
+        for n, p in trained_tiny_mlp.named_parameters():
+            np.testing.assert_array_equal(p.data, before[n])
+
+    def test_priority_mapping_helps_with_ddv(self, trained_tiny_mlp,
+                                             blob_data):
+        """With a strong persistent-DDV share, priority mapping should
+        not hurt — and usually helps (it can see the DDV)."""
+        accs = {}
+        for pm_on in (False, True):
+            cfg = PMConfig(sigma=0.8, ddv_fraction=0.9, priority_mapping=pm_on)
+            vals = [evaluate_accuracy(
+                deploy_pm(trained_tiny_mlp, cfg, rng=s), blob_data)
+                for s in range(4)]
+            accs[pm_on] = np.mean(vals)
+        assert accs[True] >= accs[False] - 0.03
+
+    def test_unary_more_robust_than_binary_slicing(self, rng):
+        """Unary coding's variance averaging: reconstructed weight error
+        is smaller than binary bit slicing at equal sigma."""
+        from repro.device.cell import MLC2
+        from repro.device.lut import DeviceModel
+        from repro.device.variation import VariationModel
+
+        sigma = 0.8
+        values = rng.integers(0, 128, size=2000)
+        # Binary: 4 MLC cells, positional significance.
+        dev = DeviceModel(MLC2, VariationModel(sigma), n_bits=8)
+        crw = dev.program(values, rng=1)
+        binary_err = np.abs(crw - values)
+        # Unary: 5 equal cells.
+        cfg = PMConfig(sigma=sigma, ddv_fraction=0.0)
+        coder = UnaryCoder(cfg)
+        cells = coder.encode_magnitude(values.astype(float))
+        nominal = cfg.cell.conductance(cells)
+        noisy = VariationModel(sigma).perturb(nominal, rng=2)
+        leak = cfg.cell.conductance(np.zeros_like(cells))
+        unary = coder.decode(noisy - leak)
+        unary_err = np.abs(unary - values)
+        assert unary_err.mean() < binary_err.mean()

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import Dataset
+from repro.nn.layers import Flatten, Linear, ReLU, Sequential
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TinyMLP(Module):
+    """A 2-layer MLP on 8x8 inputs — fast enough for deployment tests."""
+
+    def __init__(self, rng=None, hidden: int = 24, num_classes: int = 4):
+        super().__init__()
+        self.net = Sequential(
+            Flatten(),
+            Linear(64, hidden, rng=rng),
+            ReLU(),
+            Linear(hidden, num_classes, rng=rng),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)
+
+
+def make_blob_dataset(n: int = 240, num_classes: int = 4,
+                      seed: int = 0) -> Dataset:
+    """A separable 8x8 'image' dataset: one bright quadrant per class."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, num_classes, size=n)
+    images = rng.normal(0.1, 0.05, size=(n, 1, 8, 8))
+    for i, lbl in enumerate(labels):
+        r, c = divmod(int(lbl), 2)
+        images[i, 0, r * 4:(r + 1) * 4, c * 4:(c + 1) * 4] += 0.8
+    return Dataset(np.clip(images, 0, 1), labels.astype(np.int64))
+
+
+@pytest.fixture
+def blob_data():
+    return make_blob_dataset()
+
+
+@pytest.fixture
+def tiny_mlp():
+    return TinyMLP(rng=np.random.default_rng(1))
+
+
+@pytest.fixture
+def trained_tiny_mlp(blob_data):
+    """A TinyMLP trained to high accuracy on the blob task."""
+    from repro.nn.optim import Adam
+    from repro.nn.trainer import train_classifier
+
+    model = TinyMLP(rng=np.random.default_rng(1))
+    opt = Adam(model.parameters(), lr=5e-3, weight_decay=1e-4)
+    train_classifier(model, blob_data, epochs=12, batch_size=32,
+                     optimizer=opt, rng=np.random.default_rng(2))
+    return model

@@ -1,0 +1,188 @@
+"""Crossbar layers: effective weights, offset gradients, STE quantization."""
+
+import numpy as np
+import pytest
+
+from repro.core.crossbar_layers import (CrossbarConv2d, CrossbarLinear,
+                                        ste_quantize)
+from repro.core.offsets import OffsetPlan
+from repro.device.cell import SLC
+from repro.device.lut import DeviceModel
+from repro.device.variation import VariationModel
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from repro.quant.quantizer import InputQuantizer
+
+
+def make_linear(rows=8, cols=3, m=4, sigma=0.3, seed=0, complement=None,
+                input_quant=False, scale=0.01, zp=128):
+    rng = np.random.default_rng(seed)
+    device = DeviceModel(SLC, VariationModel(sigma), n_bits=8)
+    plan = OffsetPlan(rows, cols, m)
+    ntw = rng.integers(0, 256, size=(rows, cols))
+    cells = device.program_cells(ntw, rng)
+    registers = np.zeros((plan.n_groups, cols))
+    if complement is None:
+        complement = np.zeros((plan.n_groups, cols), dtype=bool)
+    iq = None
+    if input_quant:
+        iq = InputQuantizer(8)
+        iq.calibrate(np.array([1.0]))
+    return CrossbarLinear(cells=cells, plan=plan, registers=registers,
+                          complement=complement, cell=SLC, weight_bits=8,
+                          weight_scale=scale, weight_zero_point=zp,
+                          input_quantizer=iq, ntw=ntw)
+
+
+class TestEffectiveWeights:
+    def test_matches_crw_plus_offsets(self):
+        layer = make_linear()
+        layer.offsets.data[...] = 5.0
+        w = layer.effective_weight_array()
+        expected = 0.01 * (layer.crw + 5.0 - 128)
+        np.testing.assert_allclose(w, expected)
+
+    def test_complement_algebra(self):
+        comp = np.ones((2, 3), dtype=bool)
+        layer = make_linear(m=4, complement=comp)
+        layer.offsets.data[...] = 3.0
+        w = layer.effective_weight_array()
+        expected = 0.01 * ((255 - (layer.crw + 3.0)) - 128)
+        np.testing.assert_allclose(w, expected)
+
+    def test_forward_is_matmul(self, rng):
+        layer = make_linear()
+        x = rng.uniform(size=(5, 8))
+        out = layer(Tensor(x))
+        np.testing.assert_allclose(out.data,
+                                   x @ layer.effective_weight_array())
+
+    def test_bias_added(self, rng):
+        layer = make_linear()
+        layer.bias = np.array([1.0, 2.0, 3.0])
+        x = rng.uniform(size=(2, 8))
+        out = layer(Tensor(x))
+        np.testing.assert_allclose(
+            out.data, x @ layer.effective_weight_array() + layer.bias)
+
+
+class TestOffsetGradient:
+    def test_eq8_gradient_identity(self, rng):
+        """dL/db_g == dL/dz . sum(x in group g)  (Eq. 8), scaled by s_w."""
+        layer = make_linear(m=4)
+        x = rng.uniform(size=(6, 8))
+        out = layer(Tensor(x))
+        g_out = rng.normal(size=out.shape)
+        out.backward(g_out)
+        dz = g_out                                  # (N, cols)
+        group_x = layer.plan.group_sum(x)           # (N, n_groups)
+        expected = layer.weight_scale * np.einsum("ng,nc->gc", group_x, dz)
+        np.testing.assert_allclose(layer.offsets.grad, expected, atol=1e-9)
+
+    def test_complement_flips_gradient_sign(self, rng):
+        comp = np.ones((2, 3), dtype=bool)
+        base = make_linear(m=4, seed=1)
+        flipped = make_linear(m=4, seed=1, complement=comp)
+        x = rng.uniform(size=(4, 8))
+        for layer in (base, flipped):
+            out = layer(Tensor(x))
+            out.sum().backward()
+        np.testing.assert_allclose(base.offsets.grad,
+                                   -flipped.offsets.grad, atol=1e-9)
+
+    def test_grad_flows_to_inputs(self, rng):
+        layer = make_linear()
+        x = Tensor(rng.uniform(size=(2, 8)), requires_grad=True)
+        layer(x).sum().backward()
+        assert x.grad is not None and np.abs(x.grad).sum() > 0
+
+    def test_crw_is_not_trainable(self):
+        layer = make_linear()
+        params = list(layer.parameters())
+        assert len(params) == 1 and params[0] is layer.offsets
+
+
+class TestSTEQuantize:
+    def test_forward_quantizes(self):
+        q = InputQuantizer(8)
+        q.calibrate(np.array([1.0]))
+        x = Tensor(np.array([0.5001]), requires_grad=True)
+        out = ste_quantize(x, q)
+        np.testing.assert_allclose(out.data, q.apply(x.data))
+
+    def test_gradient_passes_through(self):
+        q = InputQuantizer(8)
+        q.calibrate(np.array([1.0]))
+        x = Tensor(np.array([0.3, 0.7]), requires_grad=True)
+        ste_quantize(x, q).sum().backward()
+        np.testing.assert_array_equal(x.grad, [1.0, 1.0])
+
+
+class TestQuantizeOffsets:
+    def test_rounds_and_clips(self):
+        layer = make_linear()
+        layer.offsets.data[...] = np.array([[3.4, -200.0, 140.0]] * 2)
+        layer.quantize_offsets(8)
+        np.testing.assert_array_equal(layer.offsets.data,
+                                      [[3.0, -128.0, 127.0]] * 2)
+
+
+class TestConvLayer:
+    def make_conv(self, seed=0, sigma=0.3):
+        rng = np.random.default_rng(seed)
+        device = DeviceModel(SLC, VariationModel(sigma), n_bits=8)
+        kernel_shape = (4, 2, 3, 3)                 # F, C, kh, kw
+        rows, cols = 2 * 9, 4
+        plan = OffsetPlan(rows, cols, 6)
+        ntw = rng.integers(0, 256, size=(rows, cols))
+        cells = device.program_cells(ntw, rng)
+        return CrossbarConv2d(
+            cells=cells, plan=plan,
+            registers=np.zeros((plan.n_groups, cols)),
+            complement=np.zeros((plan.n_groups, cols), dtype=bool),
+            cell=SLC, weight_bits=8, weight_scale=0.01,
+            weight_zero_point=128, kernel_shape=kernel_shape,
+            stride=1, padding=1)
+
+    def test_forward_matches_reference_conv(self, rng):
+        layer = self.make_conv()
+        x = rng.uniform(size=(2, 2, 6, 6))
+        out = layer(Tensor(x))
+        w = layer.effective_weight_array()          # (18, 4)
+        kernel = w.T.reshape(4, 2, 3, 3)
+        expected = F.conv2d(Tensor(x), Tensor(kernel), None, 1, 1)
+        np.testing.assert_allclose(out.data, expected.data, atol=1e-9)
+
+    def test_offset_grads_exist(self, rng):
+        layer = self.make_conv()
+        out = layer(Tensor(rng.uniform(size=(1, 2, 5, 5))))
+        out.sum().backward()
+        assert layer.offsets.grad is not None
+        assert np.abs(layer.offsets.grad).sum() > 0
+
+    def test_kernel_shape_validation(self):
+        layer = self.make_conv()
+        with pytest.raises(ValueError):
+            CrossbarConv2d(
+                cells=layer.cells, plan=layer.plan,
+                registers=layer.offsets.data,
+                complement=layer.complement_mask, cell=SLC,
+                weight_bits=8, weight_scale=0.01, weight_zero_point=128,
+                kernel_shape=(4, 3, 3, 3))  # wrong C
+
+
+class TestEngineConsistency:
+    def test_make_engine_effective_weights_match(self, rng):
+        layer = make_linear(input_quant=True)
+        layer.offsets.data[...] = rng.integers(-10, 10,
+                                               size=layer.offsets.shape)
+        engine = layer.make_engine()
+        np.testing.assert_allclose(engine.effective_weights(),
+                                   layer.effective_weight_array())
+
+    def test_bit_accurate_forward_matches_layer(self, rng):
+        layer = make_linear(input_quant=True)
+        x = rng.uniform(0, 1, size=(3, 8))
+        got = layer.make_engine().forward(x)
+        expected = layer(Tensor(x)).data
+        np.testing.assert_allclose(got, expected, atol=1e-9)

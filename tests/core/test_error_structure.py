@@ -1,0 +1,54 @@
+"""Regression test for the design rationale behind hard Eq. 6 feasibility.
+
+During development, an MSE-only VAWO objective produced solutions whose
+per-weight error RMS looked fine but whose errors were *coherent*
+(always-positive biases on the weights below each group's offset). This
+test pins down the mathematical fact that motivated the fix: for the
+same per-weight RMS, coherent error perturbs a column's dot-product
+output ~sqrt(n) times more than zero-mean iid error, because
+non-negative inputs sum it constructively.
+"""
+
+import numpy as np
+
+
+def test_coherent_bias_hurts_sqrt_n_more_than_iid():
+    rng = np.random.default_rng(0)
+    n = 400                                   # fan-in of a LeNet fc layer
+    x = rng.uniform(0, 1, size=(256, n))      # non-negative activations
+    rms = 10.0
+
+    iid = rng.normal(0, rms, size=n)
+    coherent = np.full(n, rms)                # same RMS, all positive
+
+    iid_out = np.abs(x @ iid)
+    coh_out = np.abs(x @ coherent)
+    ratio = coh_out.mean() / iid_out.mean()
+    # Theory: E|x.b| ~ mu_x * n * rms vs E|x.e| ~ sigma-ish * sqrt(n) * rms.
+    assert ratio > np.sqrt(n) / 4
+
+
+def test_vawo_solutions_have_no_coherent_column_bias():
+    """End-to-end: the shipped VAWO never leaves group-coherent bias
+    above its tolerance, so column outputs stay centred."""
+    from repro.core.offsets import OffsetPlan
+    from repro.core.vawo import run_vawo
+    from repro.device.cell import SLC
+    from repro.device.lut import DeviceModel, build_lut_analytic
+    from repro.device.variation import VariationModel
+
+    rng = np.random.default_rng(1)
+    plan = OffsetPlan(128, 8, 16)
+    ntw = np.clip(np.round(rng.normal(128, 30, size=(128, 8))),
+                  0, 255).astype(np.int64)
+    lut = build_lut_analytic(DeviceModel(SLC, VariationModel(0.5), n_bits=8))
+    res = run_vawo(ntw, np.ones((128, 8)), lut, plan, use_complement=True,
+                   bias_tolerance=2.0)
+    comp = plan.expand(res.complement.astype(float)).astype(bool)
+    e_v = lut.mean[res.ctw] + plan.expand(res.registers)
+    e_nrw = np.where(comp, 255 - e_v, e_v)
+    bias = e_nrw - ntw
+    # Expected column bias: the mean over each column is tiny compared
+    # with the weight scale.
+    assert np.abs(bias.mean(axis=0)).max() < 2.0
+    assert np.abs(bias).max() <= 2.0 + 1e-9

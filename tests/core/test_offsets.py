@@ -1,0 +1,127 @@
+"""Offset sharing plan: grouping algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.offsets import OffsetPlan
+
+
+class TestBasics:
+    def test_group_count_exact_division(self):
+        assert OffsetPlan(128, 4, 16).n_groups == 8
+
+    def test_group_count_partial(self):
+        assert OffsetPlan(100, 4, 16).n_groups == 7
+
+    def test_register_count_eq9(self):
+        """Eq. 9: H = S*l/m for a full 128-row, 32-col matrix."""
+        assert OffsetPlan(128, 32, 16).n_registers == 256
+        assert OffsetPlan(128, 32, 128).n_registers == 32
+
+    def test_group_index(self):
+        plan = OffsetPlan(6, 1, 2)
+        np.testing.assert_array_equal(plan.group_index, [0, 0, 1, 1, 2, 2])
+
+    def test_group_sizes_partial(self):
+        plan = OffsetPlan(7, 1, 3)
+        np.testing.assert_array_equal(plan.group_sizes, [3, 3, 1])
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            OffsetPlan(0, 1, 1)
+        with pytest.raises(ValueError):
+            OffsetPlan(4, 4, 0)
+
+
+class TestExpand:
+    def test_expand_repeats_rows(self):
+        plan = OffsetPlan(4, 2, 2)
+        regs = np.array([[1.0, 2.0], [3.0, 4.0]])
+        expanded = plan.expand(regs)
+        np.testing.assert_array_equal(expanded,
+                                      [[1, 2], [1, 2], [3, 4], [3, 4]])
+
+    def test_expand_shape_check(self):
+        with pytest.raises(ValueError):
+            OffsetPlan(4, 2, 2).expand(np.zeros((3, 2)))
+
+    def test_zeros(self):
+        assert OffsetPlan(10, 3, 4).zeros().shape == (3, 3)
+
+
+class TestGroupSum:
+    def test_simple(self):
+        plan = OffsetPlan(4, 1, 2)
+        out = plan.group_sum(np.array([1.0, 2.0, 3.0, 4.0]))
+        np.testing.assert_array_equal(out, [3.0, 7.0])
+
+    def test_batched(self):
+        plan = OffsetPlan(4, 1, 2)
+        x = np.arange(8.0).reshape(2, 4)
+        out = plan.group_sum(x)
+        np.testing.assert_array_equal(out, [[1, 5], [9, 13]])
+
+    def test_partial_group(self):
+        plan = OffsetPlan(5, 1, 2)
+        out = plan.group_sum(np.ones(5))
+        np.testing.assert_array_equal(out, [2, 2, 1])
+
+    def test_wrong_length(self):
+        with pytest.raises(ValueError):
+            OffsetPlan(4, 1, 2).group_sum(np.ones(5))
+
+    def test_offset_dot_identity(self):
+        """sum_i x_i * expand(b)_i == sum_g b_g * group_sum(x)_g  (Eq. 1)."""
+        rng = np.random.default_rng(0)
+        plan = OffsetPlan(12, 3, 4)
+        b = rng.normal(size=(plan.n_groups, 3))
+        x = rng.normal(size=12)
+        lhs = (x[:, None] * plan.expand(b)).sum(axis=0)
+        rhs = (plan.group_sum(x)[:, None] * b).sum(axis=0)
+        np.testing.assert_allclose(lhs, rhs)
+
+
+class TestGroupReduce:
+    def test_mean(self):
+        plan = OffsetPlan(4, 1, 2)
+        w = np.array([[1.0], [3.0], [5.0], [7.0]])
+        np.testing.assert_array_equal(
+            plan.group_reduce_weights(w, "mean"), [[2.0], [6.0]])
+
+    def test_sum(self):
+        plan = OffsetPlan(4, 1, 2)
+        w = np.array([[1.0], [3.0], [5.0], [7.0]])
+        np.testing.assert_array_equal(
+            plan.group_reduce_weights(w, "sum"), [[4.0], [12.0]])
+
+    def test_mean_partial_group_uses_true_size(self):
+        plan = OffsetPlan(3, 1, 2)
+        w = np.array([[2.0], [4.0], [6.0]])
+        np.testing.assert_array_equal(
+            plan.group_reduce_weights(w, "mean"), [[3.0], [6.0]])
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            OffsetPlan(2, 1, 2).group_reduce_weights(np.ones((2, 1)), "max")
+
+    def test_pad_rows(self):
+        plan = OffsetPlan(5, 2, 4)
+        padded = plan.pad_rows(np.ones((5, 2)))
+        assert padded.shape == (8, 2)
+        np.testing.assert_array_equal(padded[5:], np.zeros((3, 2)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows=st.integers(1, 40), cols=st.integers(1, 5),
+       m=st.integers(1, 16))
+def test_expand_group_sum_adjoint_property(rows, cols, m):
+    """expand and group_sum are adjoint linear maps."""
+    rng = np.random.default_rng(rows * 100 + cols * 10 + m)
+    plan = OffsetPlan(rows, cols, m)
+    b = rng.normal(size=(plan.n_groups, cols))
+    x = rng.normal(size=rows)
+    lhs = (x[:, None] * plan.expand(b)).sum()
+    rhs = (plan.group_sum(x)[:, None] * b).sum()
+    np.testing.assert_allclose(lhs, rhs, atol=1e-9)

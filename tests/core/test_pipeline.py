@@ -1,0 +1,194 @@
+"""End-to-end deployment pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import DeployConfig, Deployer
+from repro.core.crossbar_layers import CrossbarLinear
+from repro.core.pipeline import mappable_layers, weight_to_matrix
+from repro.core.pwt import crossbar_modules
+from repro.device.cell import MLC2
+from repro.nn.layers import Linear
+from repro.nn.tensor import Tensor
+from repro.nn.trainer import evaluate_accuracy
+
+
+class TestDeployConfig:
+    def test_from_method_names(self):
+        for name in DeployConfig.METHODS:
+            cfg = DeployConfig.from_method(name)
+            assert cfg.method_name == name
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            DeployConfig.from_method("magic")
+
+    def test_invalid_lut_source(self):
+        with pytest.raises(ValueError):
+            DeployConfig(lut_source="oracle")
+
+    def test_kwargs_forwarded(self):
+        cfg = DeployConfig.from_method("vawo*", sigma=0.8, granularity=64)
+        assert cfg.sigma == 0.8 and cfg.granularity == 64
+        assert cfg.use_vawo and cfg.use_complement and not cfg.use_pwt
+
+
+class TestHelpers:
+    def test_weight_to_matrix_linear(self, rng):
+        w = rng.normal(size=(3, 5))
+        np.testing.assert_array_equal(weight_to_matrix(w), w.T)
+
+    def test_weight_to_matrix_conv(self, rng):
+        w = rng.normal(size=(4, 2, 3, 3))
+        mat = weight_to_matrix(w)
+        assert mat.shape == (18, 4)
+        np.testing.assert_array_equal(mat[:, 1], w[1].reshape(-1))
+
+    def test_weight_to_matrix_invalid(self):
+        with pytest.raises(ValueError):
+            weight_to_matrix(np.zeros(3))
+
+    def test_mappable_layers_finds_both(self, tiny_mlp):
+        layers = mappable_layers(tiny_mlp)
+        assert len(layers) == 2
+        assert all(isinstance(m, Linear) for _, m in layers)
+
+
+class TestDeployer:
+    def test_plain_deployment_structure(self, trained_tiny_mlp, blob_data):
+        cfg = DeployConfig.from_method("plain", sigma=0.3, granularity=8)
+        deployer = Deployer(trained_tiny_mlp, blob_data, cfg, rng=0)
+        model = deployer.program(rng=1)
+        mods = crossbar_modules(model)
+        assert len(mods) == 2
+        assert all(isinstance(m, CrossbarLinear) for m in mods)
+
+    def test_original_model_untouched(self, trained_tiny_mlp, blob_data):
+        before = {n: p.data.copy()
+                  for n, p in trained_tiny_mlp.named_parameters()}
+        cfg = DeployConfig.from_method("vawo*", sigma=0.3, granularity=8)
+        deployer = Deployer(trained_tiny_mlp, blob_data, cfg, rng=0)
+        deployer.program(rng=1)
+        for n, p in trained_tiny_mlp.named_parameters():
+            np.testing.assert_array_equal(p.data, before[n])
+
+    def test_trials_differ(self, trained_tiny_mlp, blob_data):
+        cfg = DeployConfig.from_method("plain", sigma=0.5, granularity=8)
+        deployer = Deployer(trained_tiny_mlp, blob_data, cfg, rng=0)
+        a = crossbar_modules(deployer.program(rng=1))[0].crw
+        b = crossbar_modules(deployer.program(rng=2))[0].crw
+        assert not np.array_equal(a, b)
+
+    def test_trials_reproducible_by_seed(self, trained_tiny_mlp, blob_data):
+        cfg = DeployConfig.from_method("plain", sigma=0.5, granularity=8)
+        deployer = Deployer(trained_tiny_mlp, blob_data, cfg, rng=0)
+        a = crossbar_modules(deployer.program(rng=7))[0].crw
+        b = crossbar_modules(deployer.program(rng=7))[0].crw
+        np.testing.assert_array_equal(a, b)
+
+    def test_ideal_model_matches_quantized_reference(self, trained_tiny_mlp,
+                                                     blob_data):
+        """The ideal model's effective weights equal dequantized NTWs."""
+        cfg = DeployConfig.from_method("vawo*", sigma=0.5, granularity=8)
+        deployer = Deployer(trained_tiny_mlp, blob_data, cfg, rng=0)
+        ideal = deployer.ideal_model()
+        for prep, mod in zip(deployer.layers, crossbar_modules(ideal)):
+            expected = prep.scale * (prep.ntw - prep.zero_point)
+            np.testing.assert_allclose(mod.effective_weight_array(),
+                                       expected, atol=1e-9)
+
+    def test_ideal_model_restores_assignment(self, trained_tiny_mlp,
+                                              blob_data):
+        cfg = DeployConfig.from_method("vawo*", sigma=0.5, granularity=8)
+        deployer = Deployer(trained_tiny_mlp, blob_data, cfg, rng=0)
+        regs_before = [p.assignment.registers.copy() for p in deployer.layers]
+        deployer.ideal_model()
+        for prep, regs in zip(deployer.layers, regs_before):
+            np.testing.assert_array_equal(prep.assignment.registers, regs)
+
+    def test_ideal_accuracy_close_to_float(self, trained_tiny_mlp, blob_data):
+        cfg = DeployConfig.from_method("plain", sigma=0.5, granularity=8)
+        deployer = Deployer(trained_tiny_mlp, blob_data, cfg, rng=0)
+        float_acc = evaluate_accuracy(trained_tiny_mlp, blob_data)
+        ideal_acc = evaluate_accuracy(deployer.ideal_model(), blob_data)
+        assert ideal_acc >= float_acc - 0.05
+
+    def test_zero_sigma_plain_matches_ideal(self, trained_tiny_mlp,
+                                            blob_data):
+        """No variation: a plain deployment only differs by the tiny
+        ON/OFF-ratio leak."""
+        cfg = DeployConfig.from_method("plain", sigma=0.0, granularity=8)
+        deployer = Deployer(trained_tiny_mlp, blob_data, cfg, rng=0)
+        deployed_acc = evaluate_accuracy(deployer.program(rng=1), blob_data)
+        ideal_acc = evaluate_accuracy(deployer.ideal_model(), blob_data)
+        assert abs(deployed_acc - ideal_acc) < 0.05
+
+    def test_input_quantizers_calibrated(self, trained_tiny_mlp, blob_data):
+        cfg = DeployConfig.from_method("plain", sigma=0.3, granularity=8)
+        deployer = Deployer(trained_tiny_mlp, blob_data, cfg, rng=0)
+        for prep in deployer.layers:
+            assert prep.input_quantizer._calibrated
+            assert prep.input_quantizer.scale > 0
+
+    def test_input_quant_disabled(self, trained_tiny_mlp, blob_data):
+        cfg = DeployConfig.from_method("plain", sigma=0.3, granularity=8,
+                                       input_bits=None)
+        deployer = Deployer(trained_tiny_mlp, blob_data, cfg, rng=0)
+        assert all(p.input_quantizer is None for p in deployer.layers)
+
+    def test_monte_carlo_lut_source(self, trained_tiny_mlp, blob_data):
+        cfg = DeployConfig.from_method(
+            "vawo", sigma=0.4, granularity=8, lut_source="monte_carlo",
+            lut_k_sets=8, lut_j_cycles=8)
+        deployer = Deployer(trained_tiny_mlp, blob_data, cfg, rng=0)
+        assert len(deployer.lut) == 256
+
+    def test_mlc_cells(self, trained_tiny_mlp, blob_data):
+        cfg = DeployConfig.from_method("plain", sigma=0.3, cell=MLC2,
+                                       granularity=8)
+        deployer = Deployer(trained_tiny_mlp, blob_data, cfg, rng=0)
+        model = deployer.program(rng=1)
+        assert crossbar_modules(model)[0].cells.shape[-1] == 4
+
+    def test_total_registers(self, trained_tiny_mlp, blob_data):
+        cfg = DeployConfig.from_method("plain", granularity=8)
+        deployer = Deployer(trained_tiny_mlp, blob_data, cfg, rng=0)
+        # Layer 1: 64 rows -> 8 groups x 24 cols; layer 2: 24 rows ->
+        # 3 groups x 4 cols.
+        assert deployer.total_registers() == 8 * 24 + 3 * 4
+
+    def test_pwt_runs_inside_program(self, trained_tiny_mlp, blob_data):
+        from repro.core.pwt import PWTConfig
+        cfg = DeployConfig.from_method(
+            "pwt", sigma=0.4, granularity=8,
+            pwt=PWTConfig(epochs=1, lr=0.5, max_batches_per_epoch=3))
+        deployer = Deployer(trained_tiny_mlp, blob_data, cfg, rng=0)
+        model = deployer.program(rng=1)
+        offsets = crossbar_modules(model)[0].offsets.data
+        assert np.abs(offsets).sum() > 0    # moved away from zero
+
+    def test_deployed_model_eval_mode(self, trained_tiny_mlp, blob_data):
+        cfg = DeployConfig.from_method("plain", granularity=8)
+        deployer = Deployer(trained_tiny_mlp, blob_data, cfg, rng=0)
+        assert not deployer.program(rng=1).training
+
+
+class TestAccuracyOrdering:
+    """The paper's central qualitative claim on a controlled problem."""
+
+    def test_methods_recover_accuracy(self, trained_tiny_mlp, blob_data):
+        from repro.core.pwt import PWTConfig
+        from repro.eval import evaluate_deployment
+
+        float_acc = evaluate_accuracy(trained_tiny_mlp, blob_data)
+        accs = {}
+        for method in ("plain", "vawo*", "vawo*+pwt"):
+            cfg = DeployConfig.from_method(
+                method, sigma=0.6, granularity=8,
+                pwt=PWTConfig(epochs=2, lr=0.5))
+            deployer = Deployer(trained_tiny_mlp, blob_data, cfg, rng=0)
+            accs[method] = evaluate_deployment(deployer, blob_data,
+                                               n_trials=2, rng=5).mean
+        assert accs["vawo*"] >= accs["plain"] - 0.02
+        assert accs["vawo*+pwt"] >= accs["vawo*"] - 0.02
+        assert accs["vawo*+pwt"] >= float_acc - 0.15

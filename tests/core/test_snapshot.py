@@ -1,0 +1,63 @@
+"""Deployment snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.core import DeployConfig, Deployer
+from repro.core.snapshot import (load_deployment, save_deployment,
+                                 snapshot_exists)
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def deployer(trained_tiny_mlp, blob_data):
+    cfg = DeployConfig.from_method("vawo*", sigma=0.5, granularity=8)
+    return Deployer(trained_tiny_mlp, blob_data, cfg, rng=0)
+
+
+class TestSnapshotRoundtrip:
+    def test_outputs_identical_after_restore(self, deployer, blob_data,
+                                             tmp_path):
+        deployed = deployer.program(rng=3)
+        path = str(tmp_path / "chip")
+        save_deployment(deployed, path)
+        restored = load_deployment(deployer, path)
+        x = Tensor(blob_data.images[:8])
+        np.testing.assert_allclose(restored(x).data, deployed(x).data,
+                                   atol=1e-12)
+
+    def test_offsets_and_complement_restored(self, deployer, tmp_path):
+        from repro.core.pwt import crossbar_modules
+        deployed = deployer.program(rng=3)
+        mods = crossbar_modules(deployed)
+        mods[0].offsets.data += 7.0       # post-hoc tuning state
+        path = str(tmp_path / "chip")
+        save_deployment(deployed, path)
+        restored_mods = crossbar_modules(load_deployment(deployer, path))
+        for orig, rest in zip(mods, restored_mods):
+            np.testing.assert_array_equal(orig.offsets.data,
+                                          rest.offsets.data)
+            np.testing.assert_array_equal(orig.complement_mask,
+                                          rest.complement_mask)
+
+    def test_exists_helper(self, deployer, tmp_path):
+        path = str(tmp_path / "chip")
+        assert not snapshot_exists(path)
+        save_deployment(deployer.program(rng=1), path)
+        assert snapshot_exists(path)
+
+    def test_layer_count_mismatch_rejected(self, deployer, tmp_path,
+                                           trained_tiny_mlp, blob_data):
+        path = str(tmp_path / "chip")
+        save_deployment(deployer.program(rng=1), path)
+        # A deployer over a different granularity changes the register
+        # layout -> cells still match, but offsets/complement would not;
+        # the rows/cols check catches structural mismatches.
+        cfg = DeployConfig.from_method("plain", sigma=0.5, granularity=4)
+        other = Deployer(trained_tiny_mlp, blob_data, cfg, rng=0)
+        with pytest.raises(Exception):
+            load_deployment(other, path)
+
+    def test_non_crossbar_model_rejected(self, trained_tiny_mlp, tmp_path):
+        with pytest.raises(ValueError):
+            save_deployment(trained_tiny_mlp, str(tmp_path / "x"))

@@ -1,0 +1,173 @@
+"""VAWO and the weight-complement enhancement."""
+
+import numpy as np
+import pytest
+
+from repro.core.offsets import OffsetPlan
+from repro.core.vawo import (offset_candidates, plain_assignment, run_vawo)
+from repro.device.cell import MLC2, SLC
+from repro.device.lut import DeviceModel, build_lut_analytic
+from repro.device.variation import VariationModel
+
+
+def make_lut(sigma=0.5, cell=SLC):
+    return build_lut_analytic(DeviceModel(cell, VariationModel(sigma),
+                                          n_bits=8))
+
+
+def bell_weights(rows, cols, seed=0, std=30):
+    rng = np.random.default_rng(seed)
+    return np.clip(np.round(rng.normal(128, std, size=(rows, cols))),
+                   0, 255).astype(np.int64)
+
+
+class TestOffsetCandidates:
+    def test_8bit_range(self):
+        c = offset_candidates(8)
+        assert c.min() == -128 and c.max() == 127 and len(c) == 256
+
+    def test_4bit_range(self):
+        c = offset_candidates(4)
+        assert c.min() == -8 and c.max() == 7
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            offset_candidates(0)
+
+
+class TestPlainAssignment:
+    def test_ctw_equals_ntw(self):
+        plan = OffsetPlan(8, 2, 4)
+        ntw = bell_weights(8, 2)
+        res = plain_assignment(ntw, plan)
+        np.testing.assert_array_equal(res.ctw, ntw)
+        assert not res.registers.any()
+        assert not res.complement.any()
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            plain_assignment(np.zeros((3, 3), dtype=int), OffsetPlan(8, 2, 4))
+
+
+class TestRunVAWO:
+    def test_constraint_satisfied(self):
+        """Eq. 6: E[R(v)] + b stays within tolerance of w* everywhere."""
+        plan = OffsetPlan(32, 4, 8)
+        ntw = bell_weights(32, 4)
+        grads = np.abs(np.random.default_rng(1).normal(size=(32, 4)))
+        lut = make_lut()
+        res = run_vawo(ntw, grads, lut, plan, bias_tolerance=2.0)
+        e_nrw = lut.mean[res.ctw] + plan.expand(res.registers)
+        np.testing.assert_allclose(e_nrw, ntw, atol=2.0 + 1e-9)
+
+    def test_complement_constraint_satisfied(self):
+        plan = OffsetPlan(32, 4, 8)
+        ntw = bell_weights(32, 4, seed=3)
+        grads = np.ones((32, 4))
+        lut = make_lut()
+        res = run_vawo(ntw, grads, lut, plan, use_complement=True,
+                       bias_tolerance=2.0)
+        comp = plan.expand(res.complement.astype(float)).astype(bool)
+        e_v = lut.mean[res.ctw] + plan.expand(res.registers)
+        e_nrw = np.where(comp, 255 - e_v, e_v)
+        np.testing.assert_allclose(e_nrw, ntw, atol=2.0 + 1e-9)
+
+    def test_reduces_variance_vs_plain(self):
+        """The whole point: chosen CTWs carry less variance than NTWs."""
+        plan = OffsetPlan(64, 8, 16)
+        ntw = bell_weights(64, 8, seed=5)
+        grads = np.ones((64, 8))
+        lut = make_lut()
+        res = run_vawo(ntw, grads, lut, plan)
+        assert lut.var[res.ctw].sum() < lut.var[ntw].sum() * 0.7
+
+    def test_complement_never_worse(self):
+        """VAWO* explores a superset of VAWO's solutions."""
+        plan = OffsetPlan(64, 4, 16)
+        ntw = bell_weights(64, 4, seed=7)
+        grads = np.abs(np.random.default_rng(8).normal(size=(64, 4))) + 0.1
+        lut = make_lut()
+        plain_obj = run_vawo(ntw, grads, lut, plan).objective
+        star_obj = run_vawo(ntw, grads, lut, plan,
+                            use_complement=True).objective
+        assert np.all(star_obj <= plain_obj + 1e-9)
+
+    def test_complement_helps_high_weights(self):
+        """A group of large weights should flip to complement storage."""
+        plan = OffsetPlan(8, 1, 8)
+        ntw = np.full((8, 1), 240, dtype=np.int64)
+        grads = np.ones((8, 1))
+        lut = make_lut()
+        res = run_vawo(ntw, grads, lut, plan, use_complement=True)
+        assert res.complement.all()
+        # Complemented CTWs should be small (low variance states).
+        assert res.ctw.mean() < 60
+
+    def test_registers_within_register_width(self):
+        plan = OffsetPlan(32, 2, 8)
+        res = run_vawo(bell_weights(32, 2), np.ones((32, 2)), make_lut(),
+                       plan, offset_bits=8)
+        assert res.registers.min() >= -128 and res.registers.max() <= 127
+
+    def test_narrow_offset_bits_restrict_solution(self):
+        plan = OffsetPlan(16, 2, 8)
+        ntw = bell_weights(16, 2, seed=9)
+        lut = make_lut()
+        res = run_vawo(ntw, np.ones((16, 2)), lut, plan, offset_bits=3)
+        assert res.registers.min() >= -4 and res.registers.max() <= 3
+
+    def test_finer_granularity_not_worse(self):
+        """Smaller m gives more offsets, so the total objective can only
+        improve (the paper's granularity story)."""
+        ntw = bell_weights(64, 4, seed=11)
+        grads = np.ones((64, 4))
+        lut = make_lut()
+        obj16 = run_vawo(ntw, grads, lut, OffsetPlan(64, 4, 16)).objective
+        obj64 = run_vawo(ntw, grads, lut, OffsetPlan(64, 4, 64)).objective
+        assert obj16.sum() <= obj64.sum() + 1e-9
+
+    def test_zero_sigma_gives_near_zero_objective(self):
+        plan = OffsetPlan(16, 2, 8)
+        ntw = bell_weights(16, 2)
+        lut = make_lut(sigma=0.0)
+        res = run_vawo(ntw, np.ones((16, 2)), lut, plan)
+        assert res.objective.max() < 1.0
+
+    def test_shape_validation(self):
+        plan = OffsetPlan(16, 2, 8)
+        with pytest.raises(ValueError):
+            run_vawo(np.zeros((8, 2), dtype=int), np.zeros((8, 2)),
+                     make_lut(), plan)
+
+    def test_range_validation(self):
+        plan = OffsetPlan(4, 1, 2)
+        bad = np.array([[300], [0], [0], [0]])
+        with pytest.raises(ValueError):
+            run_vawo(bad, np.ones((4, 1)), make_lut(), plan)
+
+    def test_gradient_weighting_prioritises_sensitive_weights(self):
+        """The high-gradient weight should end up with lower variance."""
+        plan = OffsetPlan(8, 1, 8)
+        rng = np.random.default_rng(13)
+        ntw = np.clip(np.round(rng.normal(128, 40, size=(8, 1))),
+                      0, 255).astype(np.int64)
+        lut = make_lut()
+        uniform = run_vawo(ntw, np.ones((8, 1)), lut, plan)
+        focused_grads = np.ones((8, 1))
+        focused_grads[3, 0] = 100.0
+        focused = run_vawo(ntw, focused_grads, lut, plan)
+        assert lut.var[focused.ctw[3, 0]] <= lut.var[uniform.ctw[3, 0]] + 1e-9
+
+    def test_mlc_solutions_valid(self):
+        plan = OffsetPlan(16, 2, 8)
+        ntw = bell_weights(16, 2, seed=15)
+        lut = make_lut(cell=MLC2)
+        res = run_vawo(ntw, np.ones((16, 2)), lut, plan, use_complement=True)
+        assert res.ctw.min() >= 0 and res.ctw.max() <= 255
+
+    def test_partial_group_rows(self):
+        plan = OffsetPlan(10, 2, 4)     # last group has 2 rows
+        ntw = bell_weights(10, 2, seed=17)
+        res = run_vawo(ntw, np.ones((10, 2)), make_lut(), plan)
+        assert res.ctw.shape == (10, 2)
+        assert res.registers.shape == (3, 2)

@@ -1,0 +1,66 @@
+"""Property-based tests of the VAWO solver (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.offsets import OffsetPlan
+from repro.core.vawo import run_vawo
+from repro.device.cell import MLC2, SLC
+from repro.device.lut import DeviceModel, build_lut_analytic
+from repro.device.variation import VariationModel
+
+_LUTS = {
+    (cell.bits, sigma): build_lut_analytic(
+        DeviceModel(cell, VariationModel(sigma), n_bits=8))
+    for cell in (SLC, MLC2) for sigma in (0.2, 0.5, 1.0)
+}
+
+
+@settings(max_examples=25, deadline=None)
+@given(rows=st.integers(2, 24), cols=st.integers(1, 3),
+       m=st.integers(2, 16), center=st.integers(40, 215),
+       spread=st.integers(1, 40), cell_bits=st.sampled_from([1, 2]),
+       sigma=st.sampled_from([0.2, 0.5, 1.0]),
+       complement=st.booleans(), seed=st.integers(0, 10_000))
+def test_eq6_always_satisfied(rows, cols, m, center, spread, cell_bits,
+                              sigma, complement, seed):
+    """For any weight configuration, the solution satisfies Eq. 6:
+    the expected NRW matches the NTW within the bias tolerance."""
+    rng = np.random.default_rng(seed)
+    plan = OffsetPlan(rows, cols, m)
+    ntw = np.clip(np.round(rng.normal(center, spread, size=(rows, cols))),
+                  0, 255).astype(np.int64)
+    grads = np.abs(rng.normal(size=(rows, cols))) + 0.01
+    lut = _LUTS[(cell_bits, sigma)]
+    tol = 2.0
+    res = run_vawo(ntw, grads, lut, plan, use_complement=complement,
+                   bias_tolerance=tol)
+    # Solution invariants.
+    assert res.ctw.min() >= 0 and res.ctw.max() <= 255
+    assert res.registers.min() >= -128 and res.registers.max() <= 127
+    # Eq. 6 within tolerance (barring the documented min-MSE fallback,
+    # which for these centered configurations never triggers).
+    comp = plan.expand(res.complement.astype(float)).astype(bool)
+    e_v = lut.mean[res.ctw] + plan.expand(res.registers)
+    e_nrw = np.where(comp, 255 - e_v, e_v)
+    assert np.abs(e_nrw - ntw).max() <= tol + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_objective_never_exceeds_plain_variance(seed):
+    """VAWO's optimum is at least as good as writing the NTWs directly
+    with a zero offset (which is itself a feasible candidate whenever
+    the NTW means are within tolerance — they are not under lognormal
+    bias, so VAWO should do strictly better on average)."""
+    rng = np.random.default_rng(seed)
+    plan = OffsetPlan(16, 2, 8)
+    ntw = np.clip(np.round(rng.normal(128, 25, size=(16, 2))),
+                  0, 255).astype(np.int64)
+    grads = np.ones((16, 2))
+    lut = _LUTS[(1, 0.5)]
+    res = run_vawo(ntw, grads, lut, plan)
+    plain_variance = lut.var[ntw].reshape(2, 8, 2).sum(axis=1)
+    assert (res.objective <= plain_variance + 1e-6).all()

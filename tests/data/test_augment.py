@@ -1,0 +1,85 @@
+"""Augmentation transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data.augment import (add_noise, augment_dataset, horizontal_flip,
+                                random_shift)
+from repro.data.loaders import Dataset
+
+
+@pytest.fixture
+def small_data(rng):
+    return Dataset(rng.uniform(size=(10, 1, 6, 6)),
+                   np.arange(10) % 3)
+
+
+class TestAddNoise:
+    def test_stays_in_range(self, small_data, rng):
+        out = add_noise(small_data.images, 0.5, rng)
+        assert out.min() >= 0 and out.max() <= 1
+
+    def test_zero_level_identity(self, small_data, rng):
+        np.testing.assert_array_equal(
+            add_noise(small_data.images, 0.0, rng), small_data.images)
+
+    def test_negative_level_rejected(self, small_data):
+        with pytest.raises(ValueError):
+            add_noise(small_data.images, -0.1)
+
+    def test_changes_values(self, small_data, rng):
+        out = add_noise(small_data.images, 0.2, rng)
+        assert not np.array_equal(out, small_data.images)
+
+
+class TestRandomShift:
+    def test_shape_preserved(self, small_data, rng):
+        out = random_shift(small_data.images, 2, rng)
+        assert out.shape == small_data.images.shape
+
+    def test_zero_shift_identity(self, small_data, rng):
+        np.testing.assert_array_equal(
+            random_shift(small_data.images, 0, rng), small_data.images)
+
+    def test_vacated_pixels_are_zero(self, rng):
+        images = np.ones((50, 1, 6, 6))
+        out = random_shift(images, 2, rng)
+        # Some image must have shifted, exposing zero borders.
+        assert (out == 0).any()
+
+    def test_mass_not_increased(self, small_data, rng):
+        out = random_shift(small_data.images, 2, rng)
+        assert out.sum() <= small_data.images.sum() + 1e-9
+
+
+class TestFlip:
+    def test_involution(self, small_data):
+        np.testing.assert_array_equal(
+            horizontal_flip(horizontal_flip(small_data.images)),
+            small_data.images)
+
+    def test_flips_columns(self):
+        img = np.arange(4.0).reshape(1, 1, 1, 4)
+        np.testing.assert_array_equal(horizontal_flip(img).reshape(-1),
+                                      [3, 2, 1, 0])
+
+
+class TestAugmentDataset:
+    def test_size_multiplied(self, small_data, rng):
+        aug = augment_dataset(small_data,
+                              [lambda x: add_noise(x, 0.1, rng),
+                               horizontal_flip])
+        assert len(aug) == 3 * len(small_data)
+
+    def test_without_original(self, small_data):
+        aug = augment_dataset(small_data, [horizontal_flip],
+                              include_original=False)
+        assert len(aug) == len(small_data)
+
+    def test_labels_repeated(self, small_data):
+        aug = augment_dataset(small_data, [horizontal_flip])
+        np.testing.assert_array_equal(aug.labels[:10], aug.labels[10:])
+
+    def test_empty_rejected(self, small_data):
+        with pytest.raises(ValueError):
+            augment_dataset(small_data, [], include_original=False)

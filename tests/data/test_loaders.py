@@ -1,0 +1,86 @@
+"""Dataset container and batch iteration."""
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import Dataset, iterate_batches
+
+
+def make_data(n=20):
+    return Dataset(np.arange(n * 4, dtype=float).reshape(n, 4),
+                   np.arange(n) % 3)
+
+
+class TestDataset:
+    def test_len(self):
+        assert len(make_data(15)) == 15
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2)), np.zeros(4))
+
+    def test_split_sizes(self):
+        train, test = make_data(20).split(0.75, rng=0)
+        assert len(train) == 15 and len(test) == 5
+
+    def test_split_is_partition(self):
+        data = make_data(20)
+        train, test = data.split(0.5, rng=0)
+        combined = np.concatenate([train.images[:, 0], test.images[:, 0]])
+        np.testing.assert_array_equal(np.sort(combined),
+                                      np.sort(data.images[:, 0]))
+
+    def test_split_keeps_image_label_pairing(self):
+        n = 30
+        data = Dataset(np.arange(n, dtype=float).reshape(n, 1),
+                       np.arange(n))
+        train, test = data.split(0.6, rng=1)
+        np.testing.assert_array_equal(train.images[:, 0], train.labels)
+        np.testing.assert_array_equal(test.images[:, 0], test.labels)
+
+    def test_split_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            make_data().split(1.0)
+
+    def test_split_deterministic(self):
+        a, _ = make_data().split(0.5, rng=5)
+        b, _ = make_data().split(0.5, rng=5)
+        np.testing.assert_array_equal(a.images, b.images)
+
+    def test_subset(self):
+        sub = make_data(20).subset(7)
+        assert len(sub) == 7
+
+
+class TestIterateBatches:
+    def test_covers_everything_once(self):
+        data = make_data(17)
+        seen = []
+        for x, y in iterate_batches(data, 5, rng=0):
+            seen.extend(x[:, 0].tolist())
+        np.testing.assert_array_equal(np.sort(seen),
+                                      np.sort(data.images[:, 0]))
+
+    def test_batch_sizes(self):
+        sizes = [len(y) for _, y in iterate_batches(make_data(17), 5,
+                                                    shuffle=False)]
+        assert sizes == [5, 5, 5, 2]
+
+    def test_no_shuffle_preserves_order(self):
+        x, _ = next(iter(iterate_batches(make_data(10), 4, shuffle=False)))
+        np.testing.assert_array_equal(x[:, 0], [0, 4, 8, 12])
+
+    def test_shuffle_changes_order(self):
+        x, _ = next(iter(iterate_batches(make_data(100), 50, rng=3)))
+        assert not np.array_equal(x[:, 0], np.arange(50) * 4.0)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(iterate_batches(make_data(), 0))
+
+    def test_pairing_preserved_under_shuffle(self):
+        n = 40
+        data = Dataset(np.arange(n, dtype=float).reshape(n, 1),
+                       np.arange(n))
+        for x, y in iterate_batches(data, 7, rng=2):
+            np.testing.assert_array_equal(x[:, 0], y)

@@ -1,0 +1,62 @@
+"""Memristor cell models."""
+
+import numpy as np
+import pytest
+
+from repro.device.cell import MLC2, SLC, CellType
+
+
+class TestCellType:
+    def test_slc_levels(self):
+        assert SLC.levels == 2 and SLC.max_level == 1
+
+    def test_mlc2_levels(self):
+        assert MLC2.levels == 4 and MLC2.max_level == 3
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            CellType(bits=0)
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            CellType(bits=1, on_off_ratio=1.0)
+
+    def test_top_level_conductance_normalised(self):
+        np.testing.assert_allclose(SLC.conductance(np.array([1])), [1.0])
+        np.testing.assert_allclose(MLC2.conductance(np.array([3])), [3.0])
+
+    def test_off_state_leak(self):
+        """Finite ON/OFF ratio: the OFF state leaks C/r, not zero."""
+        np.testing.assert_allclose(SLC.conductance(np.array([0])),
+                                   [1.0 / 200.0])
+        np.testing.assert_allclose(MLC2.conductance(np.array([0])),
+                                   [3.0 / 200.0])
+
+    def test_monotone_in_level(self):
+        g = MLC2.conductance(np.arange(4))
+        assert np.all(np.diff(g) > 0)
+
+    def test_linear_spacing(self):
+        g = MLC2.conductance(np.arange(4))
+        np.testing.assert_allclose(np.diff(g), np.diff(g)[0])
+
+    def test_level_out_of_range(self):
+        with pytest.raises(ValueError):
+            SLC.conductance(np.array([2]))
+        with pytest.raises(ValueError):
+            SLC.conductance(np.array([-1]))
+
+    def test_read_power_proportional_to_conductance(self):
+        levels = np.arange(4)
+        np.testing.assert_allclose(MLC2.read_power(levels),
+                                   MLC2.conductance(levels))
+
+    def test_higher_ratio_less_leak(self):
+        loose = CellType(bits=1, on_off_ratio=10)
+        tight = CellType(bits=1, on_off_ratio=1000)
+        assert tight.conductance(np.array([0]))[0] < \
+            loose.conductance(np.array([0]))[0]
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SLC.bits = 3

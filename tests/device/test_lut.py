@@ -1,0 +1,151 @@
+"""Device model and E/Var look-up tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.cell import MLC2, SLC, CellType
+from repro.device.lut import (DeviceLUT, DeviceModel, build_lut_analytic,
+                              build_lut_monte_carlo)
+from repro.device.variation import VariationModel
+
+
+def make_device(sigma=0.5, cell=SLC, n_bits=8):
+    return DeviceModel(cell, VariationModel(sigma), n_bits=n_bits)
+
+
+class TestDeviceModel:
+    def test_cells_per_weight(self):
+        assert make_device(cell=SLC).cells_per_weight == 8
+        assert make_device(cell=MLC2).cells_per_weight == 4
+
+    def test_invalid_bit_widths(self):
+        with pytest.raises(ValueError):
+            DeviceModel(CellType(bits=4), VariationModel(0.1), n_bits=2)
+
+    def test_program_zero_sigma_reproduces_value_up_to_leak(self):
+        dev = make_device(sigma=0.0)
+        values = np.arange(256)
+        crw = dev.program(values, rng=0)
+        # Leak adds at most (C/r) * sum(significances) = 255/200.
+        assert np.all(crw >= values)
+        assert np.all(crw - values <= 255 / 200 + 1e-9)
+
+    def test_program_is_stochastic(self):
+        dev = make_device(sigma=0.5)
+        v = np.full(10, 200)
+        a = dev.program(v, rng=1)
+        b = dev.program(v, rng=2)
+        assert not np.array_equal(a, b)
+
+    def test_program_deterministic_given_rng(self):
+        dev = make_device()
+        v = np.arange(16)
+        np.testing.assert_array_equal(dev.program(v, rng=7),
+                                      dev.program(v, rng=7))
+
+    def test_program_cells_shape(self):
+        dev = make_device(cell=MLC2)
+        cells = dev.program_cells(np.zeros((3, 5), dtype=int), rng=0)
+        assert cells.shape == (3, 5, 4)
+
+    def test_exact_mean_is_affine_in_value(self):
+        """E[R(v)] = mean_factor * ((1 - 1/r) v + leak): affine in v."""
+        dev = make_device(sigma=0.5)
+        means = dev.exact_mean(np.arange(256))
+        diffs = np.diff(means)
+        np.testing.assert_allclose(diffs, diffs[0], rtol=1e-9)
+
+    def test_exact_var_depends_on_bit_pattern(self):
+        """v=128 (one high cell) is noisier than v=127 (7 low cells)."""
+        dev = make_device(sigma=0.5)
+        var = dev.exact_var(np.array([127, 128]))
+        assert var[1] > var[0]
+
+    def test_mlc_noisier_than_slc_at_same_value(self):
+        slc = make_device(cell=SLC)
+        mlc = make_device(cell=MLC2)
+        v = np.array([200])
+        assert mlc.exact_var(v)[0] > slc.exact_var(v)[0]
+
+    def test_empirical_moments_match_exact(self):
+        dev = make_device(sigma=0.5)
+        v = np.full(100_000, 173)
+        crw = dev.program(v, rng=0)
+        np.testing.assert_allclose(crw.mean(), dev.exact_mean([173])[0],
+                                   rtol=0.01)
+        np.testing.assert_allclose(crw.var(), dev.exact_var([173])[0],
+                                   rtol=0.05)
+
+
+class TestDeviceLUT:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceLUT(np.ones(4), np.ones(3))
+        with pytest.raises(ValueError):
+            DeviceLUT(np.ones(4), -np.ones(4))
+
+    def test_invert_exact_hits(self):
+        lut = build_lut_analytic(make_device())
+        for v in (0, 1, 100, 255):
+            assert lut.invert(np.array([lut.mean[v]]))[0] == v
+
+    def test_invert_clips_extremes(self):
+        lut = build_lut_analytic(make_device())
+        assert lut.invert(np.array([-50.0]))[0] == 0
+        assert lut.invert(np.array([1e6]))[0] == 255
+
+    def test_invert_vectorised_shape(self):
+        lut = build_lut_analytic(make_device())
+        out = lut.invert(np.zeros((3, 4)))
+        assert out.shape == (3, 4)
+
+    def test_residual_zero_at_representable_targets(self):
+        lut = build_lut_analytic(make_device())
+        np.testing.assert_allclose(lut.residual(lut.mean[[5, 50, 200]]),
+                                   np.zeros(3), atol=1e-9)
+
+    def test_residual_bounded_by_half_mean_step(self):
+        lut = build_lut_analytic(make_device())
+        step = np.diff(lut.mean).max()
+        targets = np.linspace(lut.mean.min(), lut.mean.max(), 777)
+        assert np.abs(lut.residual(targets)).max() <= step / 2 + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(t=st.floats(0, 300))
+    def test_invert_is_nearest_property(self, t):
+        lut = build_lut_analytic(make_device())
+        v = lut.invert(np.array([t]))[0]
+        best = np.abs(lut.mean - t).min()
+        np.testing.assert_allclose(abs(lut.mean[v] - t), best, atol=1e-9)
+
+
+class TestLUTBuilders:
+    def test_analytic_size(self):
+        lut = build_lut_analytic(make_device(n_bits=4))
+        assert len(lut) == 16
+
+    def test_monte_carlo_converges_to_analytic(self):
+        dev = make_device(sigma=0.5)
+        mc = build_lut_monte_carlo(dev, k_sets=64, j_cycles=64, rng=0)
+        exact = build_lut_analytic(dev)
+        rel_mean = np.abs(mc.mean - exact.mean).max() / exact.mean.max()
+        assert rel_mean < 0.03
+        # Variance estimates are noisier; compare in aggregate.
+        np.testing.assert_allclose(mc.var.mean(), exact.var.mean(), rtol=0.2)
+
+    def test_monte_carlo_deterministic_by_seed(self):
+        dev = make_device()
+        a = build_lut_monte_carlo(dev, 8, 8, rng=3)
+        b = build_lut_monte_carlo(dev, 8, 8, rng=3)
+        np.testing.assert_array_equal(a.mean, b.mean)
+
+    def test_more_samples_tighter(self):
+        dev = make_device(sigma=0.5)
+        exact = build_lut_analytic(dev)
+        small = build_lut_monte_carlo(dev, 4, 4, rng=0)
+        large = build_lut_monte_carlo(dev, 64, 64, rng=0)
+        err_small = np.abs(small.mean - exact.mean).mean()
+        err_large = np.abs(large.mean - exact.mean).mean()
+        assert err_large < err_small

@@ -1,0 +1,50 @@
+"""Iterative write-and-verify programming."""
+
+import numpy as np
+import pytest
+
+from repro.device.cell import SLC
+from repro.device.lut import DeviceModel
+from repro.device.programming import write_verify
+from repro.device.variation import VariationModel
+
+
+def make_device(sigma=0.5):
+    return DeviceModel(SLC, VariationModel(sigma), n_bits=8)
+
+
+class TestWriteVerify:
+    def test_no_noise_single_pulse(self):
+        res = write_verify(make_device(sigma=0.0), np.full(50, 100), rng=0)
+        assert res.total_pulses == 50
+        assert res.convergence_rate == 1.0
+
+    def test_noise_requires_retries(self):
+        res = write_verify(make_device(sigma=0.5), np.full(200, 200),
+                           rel_tolerance=0.05, rng=0)
+        assert res.pulses.mean() > 1.5
+
+    def test_tighter_tolerance_more_pulses(self):
+        loose = write_verify(make_device(), np.full(300, 200),
+                             rel_tolerance=0.3, rng=0)
+        tight = write_verify(make_device(), np.full(300, 200),
+                             rel_tolerance=0.05, rng=0)
+        assert tight.total_pulses > loose.total_pulses
+
+    def test_converged_values_within_tolerance(self):
+        values = np.full(100, 150)
+        res = write_verify(make_device(), values, rel_tolerance=0.1,
+                           max_pulses=50, rng=1)
+        ok = res.converged
+        assert np.all(np.abs(res.crw[ok] - values[ok]) <= 0.1 * values[ok])
+
+    def test_max_pulses_respected(self):
+        res = write_verify(make_device(sigma=1.0), np.full(100, 200),
+                           rel_tolerance=0.01, max_pulses=5, rng=0)
+        assert res.pulses.max() <= 5
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            write_verify(make_device(), np.ones(3), rel_tolerance=0.0)
+        with pytest.raises(ValueError):
+            write_verify(make_device(), np.ones(3), max_pulses=0)

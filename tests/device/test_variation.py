@@ -1,0 +1,86 @@
+"""Lognormal variation model: sampling statistics and moment formulas."""
+
+import numpy as np
+import pytest
+
+from repro.device.variation import VariationModel
+
+
+class TestConstruction:
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            VariationModel(-0.1)
+
+    def test_invalid_ddv_fraction(self):
+        with pytest.raises(ValueError):
+            VariationModel(0.5, ddv_fraction=1.5)
+
+    def test_variance_split(self):
+        v = VariationModel(1.0, ddv_fraction=0.36)
+        np.testing.assert_allclose(v.sigma_ddv, 0.6)
+        np.testing.assert_allclose(v.sigma_ccv, 0.8)
+        np.testing.assert_allclose(v.sigma_ddv ** 2 + v.sigma_ccv ** 2, 1.0)
+
+
+class TestSampling:
+    def test_zero_sigma_is_identity(self, rng):
+        v = VariationModel(0.0)
+        nominal = rng.uniform(1, 2, size=100)
+        np.testing.assert_array_equal(v.perturb(nominal, rng), nominal)
+
+    def test_perturbed_values_positive(self, rng):
+        v = VariationModel(1.0)
+        out = v.perturb(np.full(1000, 2.0), rng)
+        assert np.all(out > 0)
+
+    def test_empirical_mean_matches_formula(self):
+        v = VariationModel(0.5)
+        rng = np.random.default_rng(0)
+        samples = v.perturb(np.ones(200_000), rng)
+        np.testing.assert_allclose(samples.mean(), v.mean_factor(), rtol=0.01)
+
+    def test_empirical_variance_matches_formula(self):
+        v = VariationModel(0.5)
+        rng = np.random.default_rng(1)
+        samples = v.perturb(np.ones(400_000), rng)
+        np.testing.assert_allclose(samples.var(), v.variance_factor(),
+                                   rtol=0.05)
+
+    def test_median_is_nominal(self):
+        """exp(theta) has median 1: half the draws land below nominal."""
+        v = VariationModel(0.8)
+        rng = np.random.default_rng(2)
+        samples = v.perturb(np.ones(100_000), rng)
+        assert abs((samples < 1.0).mean() - 0.5) < 0.01
+
+    def test_ddv_persistent_across_cycles(self, rng):
+        v = VariationModel(0.5, ddv_fraction=1.0)   # pure DDV
+        ddv = v.sample_ddv((100,), rng)
+        a = v.perturb(np.ones(100), rng, ddv_theta=ddv)
+        b = v.perturb(np.ones(100), rng, ddv_theta=ddv)
+        np.testing.assert_array_equal(a, b)   # no CCV -> identical cycles
+
+    def test_ccv_differs_across_cycles(self, rng):
+        v = VariationModel(0.5, ddv_fraction=0.0)   # pure CCV
+        a = v.perturb(np.ones(100), rng)
+        b = v.perturb(np.ones(100), rng)
+        assert not np.array_equal(a, b)
+
+    def test_total_variance_independent_of_split(self):
+        """DDV+CCV splits with equal total sigma give equal total spread."""
+        rng1 = np.random.default_rng(3)
+        rng2 = np.random.default_rng(3)
+        pure_ccv = VariationModel(0.6, 0.0).perturb(np.ones(200_000), rng1)
+        half = VariationModel(0.6, 0.5).perturb(np.ones(200_000), rng2)
+        np.testing.assert_allclose(np.log(pure_ccv).std(),
+                                   np.log(half).std(), rtol=0.02)
+
+    def test_sample_shapes(self, rng):
+        v = VariationModel(0.5, 0.5)
+        assert v.sample_ddv((3, 4), rng).shape == (3, 4)
+        assert v.sample_ccv((5,), rng).shape == (5,)
+
+    def test_mean_factor_values(self):
+        np.testing.assert_allclose(VariationModel(0.0).mean_factor(), 1.0)
+        np.testing.assert_allclose(VariationModel(0.5).mean_factor(),
+                                   np.exp(0.125))

@@ -1,0 +1,45 @@
+"""Trial-averaged evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core import DeployConfig, Deployer
+from repro.eval.accuracy import TrialResult, evaluate_deployment, ideal_accuracy
+
+
+class TestTrialResult:
+    def test_stats(self):
+        r = TrialResult([0.5, 0.7])
+        assert r.mean == pytest.approx(0.6)
+        assert r.std == pytest.approx(0.1)
+        assert r.n_trials == 2
+
+    def test_str(self):
+        assert "2 trials" in str(TrialResult([0.1, 0.2]))
+
+
+class TestEvaluateDeployment:
+    @pytest.fixture
+    def deployer(self, trained_tiny_mlp, blob_data):
+        cfg = DeployConfig.from_method("plain", sigma=0.4, granularity=8)
+        return Deployer(trained_tiny_mlp, blob_data, cfg, rng=0)
+
+    def test_runs_requested_trials(self, deployer, blob_data):
+        r = evaluate_deployment(deployer, blob_data, n_trials=3, rng=0)
+        assert r.n_trials == 3
+
+    def test_reproducible_by_seed(self, deployer, blob_data):
+        a = evaluate_deployment(deployer, blob_data, n_trials=2, rng=5)
+        b = evaluate_deployment(deployer, blob_data, n_trials=2, rng=5)
+        assert a.accuracies == b.accuracies
+
+    def test_trials_vary(self, deployer, blob_data):
+        r = evaluate_deployment(deployer, blob_data, n_trials=4, rng=1)
+        assert len(set(r.accuracies)) > 1
+
+    def test_invalid_trials(self, deployer, blob_data):
+        with pytest.raises(ValueError):
+            evaluate_deployment(deployer, blob_data, n_trials=0)
+
+    def test_ideal_accuracy_high(self, deployer, blob_data):
+        assert ideal_accuracy(deployer, blob_data) > 0.9

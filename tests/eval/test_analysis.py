@@ -1,0 +1,69 @@
+"""Deployment error analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core import DeployConfig, Deployer
+from repro.eval.analysis import (analyze_deployment, layer_error_stats,
+                                 render_markdown)
+
+
+@pytest.fixture
+def deployed_pair(trained_tiny_mlp, blob_data):
+    out = {}
+    for method in ("plain", "vawo*"):
+        cfg = DeployConfig.from_method(method, sigma=0.5, granularity=8)
+        deployer = Deployer(trained_tiny_mlp, blob_data, cfg, rng=0)
+        out[method] = deployer.program(rng=1)
+    return out
+
+
+class TestLayerStats:
+    def test_fields_populated(self, deployed_pair):
+        stats = analyze_deployment(deployed_pair["plain"])
+        assert len(stats) == 2
+        s = stats[0]
+        assert s.rows == 64 and s.cols == 24
+        assert s.rms_error > 0
+        assert s.max_abs_error >= s.rms_error
+
+    def test_error_decomposition_is_pythagorean(self, deployed_pair):
+        """group_bias^2 + within_group^2 == total rms^2 (orthogonal split)."""
+        for s in analyze_deployment(deployed_pair["plain"]):
+            np.testing.assert_allclose(
+                s.group_bias_rms ** 2 + s.within_group_rms ** 2,
+                s.rms_error ** 2, rtol=1e-6)
+
+    def test_bias_share_in_unit_interval(self, deployed_pair):
+        for s in analyze_deployment(deployed_pair["vawo*"]):
+            assert 0.0 <= s.bias_share <= 1.0
+
+    def test_vawo_reduces_error_vs_plain(self, deployed_pair):
+        plain = analyze_deployment(deployed_pair["plain"])
+        vawo = analyze_deployment(deployed_pair["vawo*"])
+        assert sum(s.rms_error for s in vawo) < \
+            sum(s.rms_error for s in plain)
+
+    def test_requires_metadata(self, deployed_pair):
+        from repro.core.pwt import crossbar_modules
+        mod = crossbar_modules(deployed_pair["plain"])[0]
+        mod.ntw = None
+        with pytest.raises(ValueError):
+            layer_error_stats(mod)
+
+    def test_non_crossbar_model_rejected(self, trained_tiny_mlp):
+        with pytest.raises(ValueError):
+            analyze_deployment(trained_tiny_mlp)
+
+
+class TestMarkdown:
+    def test_renders_table(self, deployed_pair):
+        stats = analyze_deployment(deployed_pair["vawo*"])
+        md = render_markdown(stats, title="test deployment")
+        assert md.startswith("### test deployment")
+        assert md.count("|") >= 8 * (len(stats) + 2)
+        assert "64x24" in md
+
+    def test_no_title(self, deployed_pair):
+        md = render_markdown(analyze_deployment(deployed_pair["plain"]))
+        assert not md.startswith("###")

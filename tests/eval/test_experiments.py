@@ -1,0 +1,60 @@
+"""Experiment harness: workload construction and runner plumbing.
+
+These tests keep workloads tiny (they synthesise data and train for a
+few steps); the real paper-scale runs live in benchmarks/.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import (_augmented, build_workload, run_table2,
+                                    workload_names)
+
+
+class TestWorkloadRegistry:
+    def test_names(self):
+        assert set(workload_names()) == {"lenet", "resnet18", "vgg16"}
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            build_workload("alexnet")
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError):
+            build_workload("lenet", preset="huge")
+
+
+class TestAugmentation:
+    def test_doubles_dataset(self, blob_data):
+        aug = _augmented(blob_data, 0.1, np.random.default_rng(0))
+        assert len(aug) == 2 * len(blob_data)
+
+    def test_zero_level_identity(self, blob_data):
+        assert _augmented(blob_data, 0.0, np.random.default_rng(0)) \
+            is blob_data
+
+    def test_values_stay_in_range(self, blob_data):
+        aug = _augmented(blob_data, 0.5, np.random.default_rng(0))
+        assert aug.images.min() >= 0 and aug.images.max() <= 1
+
+
+class TestWorkloadCaching:
+    def test_cache_roundtrip(self, tmp_path):
+        wl1 = build_workload("lenet", "quick", seed=123, cache_dir=tmp_path)
+        wl2 = build_workload("lenet", "quick", seed=123, cache_dir=tmp_path)
+        np.testing.assert_allclose(wl1.float_accuracy, wl2.float_accuracy)
+        state1 = wl1.model.state_dict()
+        state2 = wl2.model.state_dict()
+        for k in state1:
+            np.testing.assert_array_equal(state1[k], state2[k])
+
+    def test_cache_file_created(self, tmp_path):
+        build_workload("lenet", "quick", seed=124, cache_dir=tmp_path)
+        assert list(tmp_path.glob("lenet-quick-124-*.npz"))
+
+
+class TestTable2Runner:
+    def test_rows(self):
+        rows = run_table2((16, 128))
+        assert [r["granularity"] for r in rows] == [16, 128]
+        assert rows[1]["total_area_mm2"] > rows[0]["total_area_mm2"]

@@ -1,0 +1,60 @@
+"""Shared test utilities: numerical gradient checking."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def numeric_grad(f: Callable[[], float], x: np.ndarray,
+                 eps: float = 1e-5) -> np.ndarray:
+    """Central-difference gradient of scalar ``f()`` w.r.t. array ``x``.
+
+    ``f`` must read ``x`` by reference (the array is perturbed in place).
+    """
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = f()
+        flat[i] = orig - eps
+        down = f()
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def gradcheck(build: Callable[[Sequence[Tensor]], Tensor],
+              shapes: Sequence[tuple], seed: int = 0,
+              atol: float = 1e-4, rtol: float = 1e-3,
+              positive: bool = False) -> None:
+    """Assert autograd gradients match finite differences.
+
+    ``build(tensors)`` returns a scalar Tensor; ``shapes`` gives the
+    input shapes. ``positive`` draws strictly positive inputs (for log /
+    sqrt / division).
+    """
+    rng = np.random.default_rng(seed)
+    tensors = []
+    for shape in shapes:
+        data = rng.normal(0.0, 1.0, size=shape)
+        if positive:
+            data = np.abs(data) + 0.5
+        tensors.append(Tensor(data, requires_grad=True))
+
+    out = build(tensors)
+    assert out.size == 1, "gradcheck requires a scalar output"
+    out.backward()
+
+    for t in tensors:
+        def f(tt=t):
+            return float(build(tensors).data)
+        expected = numeric_grad(f, t.data)
+        actual = t.grad
+        assert actual is not None, "missing gradient"
+        np.testing.assert_allclose(actual, expected, atol=atol, rtol=rtol)

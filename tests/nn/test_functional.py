@@ -1,0 +1,245 @@
+"""Functional ops: values against naive references, gradients numerically."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from tests.helpers import gradcheck, numeric_grad
+
+
+def naive_conv2d(x, w, b, stride, pad):
+    """Straightforward quadruple-loop conv for value checking."""
+    n, c, h, ww = x.shape
+    f, _, kh, kw = w.shape
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    oh = (h + 2 * pad - kh) // stride + 1
+    ow = (ww + 2 * pad - kw) // stride + 1
+    out = np.zeros((n, f, oh, ow))
+    for ni in range(n):
+        for fi in range(f):
+            for i in range(oh):
+                for j in range(ow):
+                    patch = xp[ni, :, i * stride:i * stride + kh,
+                               j * stride:j * stride + kw]
+                    out[ni, fi, i, j] = (patch * w[fi]).sum()
+            if b is not None:
+                out[ni, fi] += b[fi]
+    return out
+
+
+class TestIm2Col:
+    def test_roundtrip_adjoint(self, rng):
+        """col2im is the exact adjoint of im2col: <Ax, y> == <x, A*y>."""
+        x = rng.normal(size=(2, 3, 6, 6))
+        cols, oh, ow = F.im2col(x, 3, 3, 1, 1)
+        y = rng.normal(size=cols.shape)
+        lhs = (cols * y).sum()
+        back = F.col2im(y, x.shape, 3, 3, 1, 1)
+        rhs = (x * back).sum()
+        np.testing.assert_allclose(lhs, rhs)
+
+    def test_output_shape(self, rng):
+        cols, oh, ow = F.im2col(rng.normal(size=(1, 2, 5, 5)), 3, 3, 2, 0)
+        assert (oh, ow) == (2, 2)
+        assert cols.shape == (1, 2 * 9, 4)
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,pad", [(1, 0), (1, 1), (2, 0), (2, 1)])
+    def test_values_match_naive(self, rng, stride, pad):
+        x = rng.normal(size=(2, 3, 6, 6))
+        w = rng.normal(size=(4, 3, 3, 3))
+        b = rng.normal(size=4)
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b), stride, pad)
+        np.testing.assert_allclose(out.data,
+                                   naive_conv2d(x, w, b, stride, pad),
+                                   atol=1e-10)
+
+    def test_gradcheck_weight_and_input(self):
+        gradcheck(
+            lambda ts: (F.conv2d(ts[0], ts[1], ts[2], stride=1, padding=1)
+                        ** 2).sum(),
+            [(1, 2, 4, 4), (3, 2, 3, 3), (3,)])
+
+    def test_gradcheck_strided(self):
+        gradcheck(
+            lambda ts: (F.conv2d(ts[0], ts[1], None, stride=2) ** 2).sum(),
+            [(1, 1, 5, 5), (2, 1, 3, 3)])
+
+    def test_no_bias(self, rng):
+        x = rng.normal(size=(1, 1, 4, 4))
+        w = rng.normal(size=(1, 1, 2, 2))
+        out = F.conv2d(Tensor(x), Tensor(w))
+        np.testing.assert_allclose(out.data,
+                                   naive_conv2d(x, w, None, 1, 0), atol=1e-10)
+
+    def test_1x1_conv_is_channel_mix(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        w = rng.normal(size=(5, 3, 1, 1))
+        out = F.conv2d(Tensor(x), Tensor(w)).data
+        expected = np.einsum("fc,nchw->nfhw", w[:, :, 0, 0], x)
+        np.testing.assert_allclose(out, expected, atol=1e-10)
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), 2)
+        np.testing.assert_array_equal(out.data.reshape(2, 2),
+                                      [[5, 7], [13, 15]])
+
+    def test_max_pool_grad_hits_argmax(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4), requires_grad=True)
+        F.max_pool2d(x, 2).sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1
+        np.testing.assert_array_equal(x.grad[0, 0], expected)
+
+    def test_max_pool_overlapping_stride(self, rng):
+        x = rng.normal(size=(1, 1, 5, 5))
+        out = F.max_pool2d(Tensor(x), 3, stride=1)
+        assert out.shape == (1, 1, 3, 3)
+        assert out.data[0, 0, 0, 0] == x[0, 0, :3, :3].max()
+
+    def test_avg_pool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(Tensor(x), 2)
+        np.testing.assert_allclose(out.data.reshape(2, 2),
+                                   [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avg_pool_gradcheck(self):
+        gradcheck(lambda ts: (F.avg_pool2d(ts[0], 2) ** 2).sum(),
+                  [(1, 2, 4, 4)])
+
+    def test_global_avg_pool(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = F.global_avg_pool2d(Tensor(x))
+        np.testing.assert_allclose(out.data, x.mean(axis=(2, 3)))
+
+
+class TestLinear:
+    def test_values(self, rng):
+        x = rng.normal(size=(4, 5))
+        w = rng.normal(size=(3, 5))
+        b = rng.normal(size=3)
+        out = F.linear(Tensor(x), Tensor(w), Tensor(b))
+        np.testing.assert_allclose(out.data, x @ w.T + b)
+
+    def test_gradcheck(self):
+        gradcheck(lambda ts: (F.linear(ts[0], ts[1], ts[2]) ** 2).sum(),
+                  [(3, 4), (2, 4), (2,)])
+
+
+class TestBatchNorm:
+    def test_training_normalises(self, rng):
+        x = rng.normal(3.0, 2.0, size=(8, 4, 5, 5))
+        gamma = Tensor(np.ones(4), requires_grad=True)
+        beta = Tensor(np.zeros(4), requires_grad=True)
+        rmean, rvar = np.zeros(4), np.ones(4)
+        out = F.batch_norm2d(Tensor(x), gamma, beta, rmean, rvar,
+                             training=True)
+        np.testing.assert_allclose(out.data.mean(axis=(0, 2, 3)),
+                                   np.zeros(4), atol=1e-10)
+        np.testing.assert_allclose(out.data.std(axis=(0, 2, 3)),
+                                   np.ones(4), atol=1e-3)
+
+    def test_running_stats_updated(self, rng):
+        x = rng.normal(5.0, 1.0, size=(16, 2, 4, 4))
+        rmean, rvar = np.zeros(2), np.ones(2)
+        F.batch_norm2d(Tensor(x), Tensor(np.ones(2)), Tensor(np.zeros(2)),
+                       rmean, rvar, training=True, momentum=1.0)
+        np.testing.assert_allclose(rmean, x.mean(axis=(0, 2, 3)), atol=1e-10)
+
+    def test_eval_uses_running_stats(self, rng):
+        x = rng.normal(size=(4, 2, 3, 3))
+        rmean = np.array([1.0, -1.0])
+        rvar = np.array([4.0, 9.0])
+        out = F.batch_norm2d(Tensor(x), Tensor(np.ones(2)),
+                             Tensor(np.zeros(2)), rmean, rvar,
+                             training=False, eps=0.0)
+        expected = (x - rmean.reshape(1, 2, 1, 1)) / \
+            np.sqrt(rvar.reshape(1, 2, 1, 1))
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_gradcheck_gamma_beta(self, rng):
+        x = rng.normal(size=(4, 2, 3, 3))
+        rmean, rvar = np.zeros(2), np.ones(2)
+        gradcheck(
+            lambda ts: (F.batch_norm2d(Tensor(x), ts[0], ts[1], rmean.copy(),
+                                       rvar.copy(), training=True) ** 2).sum(),
+            [(2,), (2,)])
+
+
+class TestDropout:
+    def test_identity_in_eval(self, rng):
+        x = Tensor(rng.normal(size=(4, 4)))
+        assert F.dropout(x, 0.5, training=False) is x
+
+    def test_identity_at_p0(self, rng):
+        x = Tensor(rng.normal(size=(4, 4)))
+        assert F.dropout(x, 0.0, training=True) is x
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.0, training=True)
+
+    def test_scaling_preserves_expectation(self):
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.5, training=True,
+                        rng=np.random.default_rng(0))
+        assert abs(out.data.mean() - 1.0) < 0.02
+
+    def test_mask_backward(self):
+        x = Tensor(np.ones((10, 10)), requires_grad=True)
+        out = F.dropout(x, 0.5, training=True, rng=np.random.default_rng(1))
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, out.data)
+
+
+class TestSoftmaxAndLosses:
+    def test_log_softmax_normalises(self, rng):
+        x = rng.normal(size=(5, 7))
+        out = F.log_softmax(Tensor(x))
+        np.testing.assert_allclose(np.exp(out.data).sum(axis=1),
+                                   np.ones(5), atol=1e-12)
+
+    def test_log_softmax_stable_for_large_inputs(self):
+        x = Tensor(np.array([[1000.0, 1000.1]]))
+        out = F.log_softmax(x)
+        assert np.all(np.isfinite(out.data))
+
+    def test_log_softmax_gradcheck(self):
+        gradcheck(lambda ts: (F.log_softmax(ts[0]) ** 2).sum(), [(3, 4)])
+
+    def test_softmax_sums_to_one(self, rng):
+        out = F.softmax(Tensor(rng.normal(size=(4, 6))))
+        np.testing.assert_allclose(out.data.sum(axis=1), np.ones(4))
+
+    def test_cross_entropy_value(self):
+        logits = np.log(np.array([[0.7, 0.2, 0.1], [0.1, 0.8, 0.1]]))
+        loss = F.cross_entropy(Tensor(logits), np.array([0, 1]))
+        expected = -(np.log(0.7) + np.log(0.8)) / 2
+        np.testing.assert_allclose(loss.item(), expected)
+
+    def test_cross_entropy_gradient(self, rng):
+        x = rng.normal(size=(4, 5))
+        labels = np.array([0, 1, 2, 3])
+        t = Tensor(x, requires_grad=True)
+        F.cross_entropy(t, labels).backward()
+        expected = numeric_grad(
+            lambda: float(F.cross_entropy(Tensor(t.data), labels).data),
+            t.data)
+        np.testing.assert_allclose(t.grad, expected, atol=1e-6)
+
+    def test_cross_entropy_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros((2, 3, 4))), np.array([0, 1]))
+
+    def test_mse_loss(self):
+        pred = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        target = Tensor(np.array([0.0, 0.0]))
+        loss = F.mse_loss(pred, target)
+        np.testing.assert_allclose(loss.item(), 2.5)
+        loss.backward()
+        np.testing.assert_allclose(pred.grad, [1.0, 2.0])

@@ -1,0 +1,133 @@
+"""Layer modules: shapes, parameter registration, modes."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (AvgPool2d, BatchNorm2d, Conv2d, Dropout,
+                             Flatten, GlobalAvgPool2d, Identity, Linear,
+                             MaxPool2d, ReLU, Sequential)
+from repro.nn.tensor import Tensor
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(8, 3, rng=rng)
+        assert layer(Tensor(np.ones((4, 8)))).shape == (4, 3)
+
+    def test_no_bias(self, rng):
+        layer = Linear(8, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_parameters_registered(self, rng):
+        names = dict(Linear(4, 2, rng=rng).named_parameters())
+        assert set(names) == {"weight", "bias"}
+
+    def test_deterministic_init(self):
+        a = Linear(6, 2, rng=42).weight.data
+        b = Linear(6, 2, rng=42).weight.data
+        np.testing.assert_array_equal(a, b)
+
+    def test_repr(self, rng):
+        assert "Linear(8, 3)" == repr(Linear(8, 3, rng=rng))
+
+
+class TestConv2d:
+    def test_output_shape_padded(self, rng):
+        layer = Conv2d(3, 8, 3, padding=1, rng=rng)
+        assert layer(Tensor(np.ones((2, 3, 16, 16)))).shape == (2, 8, 16, 16)
+
+    def test_output_shape_strided(self, rng):
+        layer = Conv2d(3, 8, 3, stride=2, padding=1, rng=rng)
+        assert layer(Tensor(np.ones((2, 3, 16, 16)))).shape == (2, 8, 8, 8)
+
+    def test_no_bias_param_count(self, rng):
+        layer = Conv2d(2, 4, 3, bias=False, rng=rng)
+        assert len(list(layer.parameters())) == 1
+
+    def test_weight_shape(self, rng):
+        assert Conv2d(5, 7, 3, rng=rng).weight.shape == (7, 5, 3, 3)
+
+
+class TestPoolingLayers:
+    def test_max_pool_shape(self):
+        assert MaxPool2d(2)(Tensor(np.ones((1, 2, 8, 8)))).shape == (1, 2, 4, 4)
+
+    def test_avg_pool_shape(self):
+        assert AvgPool2d(4)(Tensor(np.ones((1, 2, 8, 8)))).shape == (1, 2, 2, 2)
+
+    def test_stride_defaults_to_kernel(self):
+        assert MaxPool2d(3).stride == 3
+
+    def test_global_avg_pool_shape(self):
+        assert GlobalAvgPool2d()(Tensor(np.ones((3, 5, 7, 7)))).shape == (3, 5)
+
+
+class TestBatchNorm2d:
+    def test_shapes_and_params(self):
+        bn = BatchNorm2d(6)
+        out = bn(Tensor(np.random.default_rng(0).normal(size=(4, 6, 3, 3))))
+        assert out.shape == (4, 6, 3, 3)
+        assert {n for n, _ in bn.named_parameters()} == {"gamma", "beta"}
+
+    def test_buffers_registered(self):
+        bn = BatchNorm2d(4)
+        assert {n for n, _ in bn.named_buffers()} == \
+            {"running_mean", "running_var"}
+
+    def test_eval_mode_is_deterministic(self, rng):
+        bn = BatchNorm2d(2)
+        x1 = rng.normal(size=(4, 2, 3, 3))
+        bn.train()
+        bn(Tensor(x1))
+        bn.eval()
+        x2 = rng.normal(size=(4, 2, 3, 3))
+        out_a = bn(Tensor(x2)).data
+        out_b = bn(Tensor(x2)).data
+        np.testing.assert_array_equal(out_a, out_b)
+
+
+class TestMisc:
+    def test_relu(self):
+        out = ReLU()(Tensor(np.array([-1.0, 1.0])))
+        np.testing.assert_array_equal(out.data, [0.0, 1.0])
+
+    def test_flatten(self):
+        assert Flatten()(Tensor(np.ones((2, 3, 4, 5)))).shape == (2, 60)
+
+    def test_identity(self):
+        t = Tensor(np.ones(3))
+        assert Identity()(t) is t
+
+    def test_dropout_eval_identity(self, rng):
+        d = Dropout(0.9, rng=rng)
+        d.eval()
+        x = Tensor(np.ones((4, 4)))
+        np.testing.assert_array_equal(d(x).data, x.data)
+
+    def test_dropout_train_masks(self, rng):
+        d = Dropout(0.5, rng=rng)
+        d.train()
+        out = d(Tensor(np.ones((20, 20))))
+        assert (out.data == 0).any()
+
+
+class TestSequential:
+    def test_forward_order(self, rng):
+        seq = Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng))
+        assert seq(Tensor(np.ones((3, 4)))).shape == (3, 2)
+
+    def test_len_iter_getitem(self, rng):
+        seq = Sequential(ReLU(), Flatten())
+        assert len(seq) == 2
+        assert isinstance(seq[0], ReLU)
+        assert [type(m) for m in seq] == [ReLU, Flatten]
+
+    def test_child_parameters_collected(self, rng):
+        seq = Sequential(Linear(4, 4, rng=rng), Linear(4, 2, rng=rng))
+        assert len(list(seq.parameters())) == 4
+
+    def test_train_mode_propagates(self, rng):
+        seq = Sequential(Dropout(0.5), BatchNorm2d(2))
+        seq.eval()
+        assert not seq[0].training and not seq[1].training

@@ -1,0 +1,95 @@
+"""Model architectures: shapes, structure, parameter budgets."""
+
+import numpy as np
+import pytest
+
+from repro.nn.models import (LeNet, resnet18, resnet18_slim, resnet_tiny,
+                             vgg16, vgg16_slim)
+from repro.nn.tensor import Tensor
+
+
+class TestLeNet:
+    def test_output_shape(self):
+        net = LeNet(rng=0)
+        out = net(Tensor(np.zeros((2, 1, 28, 28))))
+        assert out.shape == (2, 10)
+
+    def test_parameter_count(self):
+        # Classic LeNet-5: 61,706 parameters.
+        assert LeNet(rng=0).num_parameters() == 61706
+
+    def test_custom_classes(self):
+        net = LeNet(num_classes=7, rng=0)
+        assert net(Tensor(np.zeros((1, 1, 28, 28)))).shape == (1, 7)
+
+
+class TestResNet:
+    def test_tiny_forward(self):
+        net = resnet_tiny(rng=0)
+        assert net(Tensor(np.zeros((2, 3, 32, 32)))).shape == (2, 10)
+
+    def test_slim_forward(self):
+        net = resnet18_slim(base_width=4, rng=0)
+        assert net(Tensor(np.zeros((1, 3, 32, 32)))).shape == (1, 10)
+
+    def test_full_resnet18_structure(self):
+        """The faithful model is constructible with the right depth/width."""
+        net = resnet18(rng=0)
+        # 4 stages x 2 BasicBlocks, each with 2 convs, + stem + shortcuts.
+        from repro.nn.layers import Conv2d
+        convs = [m for _, m in net.named_modules() if isinstance(m, Conv2d)]
+        assert len(convs) == 1 + 16 + 3  # stem + block convs + 3 projections
+        assert net.fc.weight.shape == (10, 512)
+        # ~11M parameters like torchvision's CIFAR-style ResNet-18.
+        assert 10_500_000 < net.num_parameters() < 11_500_000
+
+    def test_downsampling_halves_spatial(self):
+        net = resnet18_slim(base_width=4, rng=0)
+        feats = net.stages(net.stem(Tensor(np.zeros((1, 3, 32, 32)))))
+        assert feats.shape == (1, 32, 4, 4)   # 3 downsamples from 32
+
+    def test_shortcut_projection_only_on_shape_change(self):
+        from repro.nn.layers import Identity
+        from repro.nn.models.resnet import BasicBlock
+        same = BasicBlock(8, 8, stride=1, rng=0)
+        diff = BasicBlock(8, 16, stride=2, rng=0)
+        assert isinstance(same.shortcut, Identity)
+        assert not isinstance(diff.shortcut, Identity)
+
+
+class TestVGG:
+    def test_slim_forward(self):
+        net = vgg16_slim(width_scale=0.125, rng=0)
+        assert net(Tensor(np.zeros((1, 3, 32, 32)))).shape == (1, 10)
+
+    def test_full_vgg16_depth(self):
+        from repro.nn.layers import Conv2d, Linear
+        net = vgg16(rng=0)
+        convs = [m for _, m in net.named_modules() if isinstance(m, Conv2d)]
+        linears = [m for _, m in net.named_modules() if isinstance(m, Linear)]
+        assert len(convs) == 13
+        assert len(linears) == 3
+
+    def test_width_scale_reduces_params(self):
+        assert vgg16_slim(width_scale=0.125, rng=0).num_parameters() < \
+            vgg16(rng=0).num_parameters() / 10
+
+
+class TestTrainability:
+    def test_lenet_loss_decreases(self, blob_data):
+        """One gradient step on real data reduces the loss."""
+        from repro.nn import functional as F
+        from repro.nn.optim import Adam
+
+        net = LeNet(rng=0)
+        x = np.random.default_rng(0).random((8, 1, 28, 28))
+        y = np.arange(8) % 10
+        opt = Adam(net.parameters(), lr=1e-2)
+        losses = []
+        for _ in range(5):
+            opt.zero_grad()
+            loss = F.cross_entropy(net(Tensor(x)), y)
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]

@@ -1,0 +1,123 @@
+"""Module base class: traversal, state dicts, modes."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import BatchNorm2d, Linear, ReLU, Sequential
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+class Nested(Module):
+    def __init__(self):
+        super().__init__()
+        self.inner = Sequential(Linear(4, 4, rng=0), ReLU())
+        self.head = Linear(4, 2, rng=1)
+        self.scale = Parameter(np.ones(1))
+
+    def forward(self, x):
+        return self.head(self.inner(x)) * self.scale
+
+
+class TestTraversal:
+    def test_named_parameters_paths(self):
+        names = {n for n, _ in Nested().named_parameters()}
+        assert "scale" in names
+        assert "head.weight" in names
+        assert "inner.m0.weight" in names
+
+    def test_parameter_count(self):
+        # inner linear (w+b) + head (w+b) + scale
+        assert len(list(Nested().parameters())) == 5
+
+    def test_num_parameters(self):
+        n = Nested().num_parameters()
+        assert n == 4 * 4 + 4 + 4 * 2 + 2 + 1
+
+    def test_named_modules_includes_self(self):
+        mods = dict(Nested().named_modules())
+        assert "" in mods
+        assert "inner.m0" in mods
+
+    def test_named_buffers(self):
+        m = Sequential(BatchNorm2d(3))
+        assert {n for n, _ in m.named_buffers()} == \
+            {"m0.running_mean", "m0.running_var"}
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = Nested(), Nested()
+        b.load_state_dict(a.state_dict())
+        for (_, pa), (_, pb) in zip(a.named_parameters(),
+                                    b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_state_dict_is_a_copy(self):
+        m = Nested()
+        state = m.state_dict()
+        state["scale"][...] = 99.0
+        assert m.scale.data[0] != 99.0
+
+    def test_load_rejects_unknown_key(self):
+        with pytest.raises(KeyError):
+            Nested().load_state_dict({"nonexistent": np.ones(1)})
+
+    def test_load_rejects_shape_mismatch(self):
+        m = Nested()
+        state = m.state_dict()
+        state["scale"] = np.ones(7)
+        with pytest.raises(ValueError):
+            m.load_state_dict(state)
+
+    def test_buffers_in_state_dict(self):
+        m = Sequential(BatchNorm2d(2))
+        assert "m0.running_mean" in m.state_dict()
+
+    def test_buffer_roundtrip_preserves_aliasing(self):
+        m = Sequential(BatchNorm2d(2))
+        state = m.state_dict()
+        state["m0.running_mean"] = np.array([5.0, 6.0])
+        m.load_state_dict(state)
+        # The module attribute and _buffers entry must stay the same array.
+        bn = m[0]
+        np.testing.assert_array_equal(bn.running_mean, [5.0, 6.0])
+        np.testing.assert_array_equal(bn._buffers["running_mean"], [5.0, 6.0])
+
+
+class TestModes:
+    def test_train_eval_recursive(self):
+        m = Nested()
+        m.eval()
+        assert not m.inner.training
+        m.train()
+        assert m.inner.training
+
+    def test_zero_grad(self):
+        m = Nested()
+        out = m(Tensor(np.ones((2, 4))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in m.parameters())
+        m.zero_grad()
+        assert all(p.grad is None for p in m.parameters())
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(None)
+
+
+class TestDeepCopy:
+    def test_deepcopy_independent(self):
+        import copy
+        a = Nested()
+        b = copy.deepcopy(a)
+        b.scale.data[...] = 123.0
+        assert a.scale.data[0] != 123.0
+
+    def test_deepcopy_preserves_buffer_aliasing(self):
+        import copy
+        m = copy.deepcopy(Sequential(BatchNorm2d(2)))
+        bn = m[0]
+        bn.running_mean[...] = 7.0
+        np.testing.assert_array_equal(bn._buffers["running_mean"],
+                                      [7.0, 7.0])

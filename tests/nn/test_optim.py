@@ -1,0 +1,110 @@
+"""Optimizers: convergence on analytic problems, options, scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam, StepLR
+
+
+def quadratic_step(opt, p, target):
+    opt.zero_grad()
+    # loss = 0.5 * ||p - target||^2, grad = p - target
+    p.grad = p.data - target
+    opt.step()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([10.0, -10.0]))
+        opt = SGD([p], lr=0.1)
+        target = np.array([1.0, 2.0])
+        for _ in range(200):
+            quadratic_step(opt, p, target)
+        np.testing.assert_allclose(p.data, target, atol=1e-6)
+
+    def test_momentum_accelerates(self):
+        target = np.array([0.0])
+        trajectories = {}
+        for momentum in (0.0, 0.9):
+            p = Parameter(np.array([100.0]))
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                quadratic_step(opt, p, target)
+            trajectories[momentum] = abs(p.data[0])
+        assert trajectories[0.9] < trajectories[0.0]
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        p.grad = np.zeros(1)
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_skips_none_grad(self):
+        p = Parameter(np.array([3.0]))
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no grad set: must be a no-op, not an error
+        assert p.data[0] == 3.0
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([10.0, -5.0]))
+        opt = Adam([p], lr=0.3)
+        target = np.array([-1.0, 4.0])
+        for _ in range(300):
+            quadratic_step(opt, p, target)
+        np.testing.assert_allclose(p.data, target, atol=1e-3)
+
+    def test_first_step_size_is_lr(self):
+        # With bias correction, the first Adam step is ~lr in magnitude.
+        p = Parameter(np.array([0.0]))
+        opt = Adam([p], lr=0.5)
+        opt.zero_grad()
+        p.grad = np.array([1.0])
+        opt.step()
+        np.testing.assert_allclose(abs(p.data[0]), 0.5, rtol=1e-6)
+
+    def test_scale_invariance(self):
+        # Adam's per-parameter normalisation: huge gradients take the
+        # same step size as small ones.
+        results = []
+        for scale in (1.0, 1e6):
+            p = Parameter(np.array([0.0]))
+            opt = Adam([p], lr=0.1)
+            p.grad = np.array([scale])
+            opt.step()
+            results.append(abs(p.data[0]))
+        np.testing.assert_allclose(results[0], results[1], rtol=1e-5)
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([10.0]))
+        opt = Adam([p], lr=0.1, weight_decay=0.1)
+        p.grad = np.zeros(1)
+        opt.step()
+        assert p.data[0] < 10.0
+
+
+class TestStepLR:
+    def test_decays_on_schedule(self):
+        opt = SGD([Parameter(np.ones(1))], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        sched.step()
+        assert opt.lr == 1.0
+        sched.step()
+        np.testing.assert_allclose(opt.lr, 0.1)
+
+    def test_invalid_step_size(self):
+        opt = SGD([Parameter(np.ones(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=0)

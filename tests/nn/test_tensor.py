@@ -1,0 +1,312 @@
+"""Autograd core: every op's gradient against finite differences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.tensor import Tensor, as_tensor, concatenate, stack
+from tests.helpers import gradcheck
+
+
+class TestBasics:
+    def test_construction_from_list(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert t.dtype == np.float64
+
+    def test_integer_input_promoted_to_float(self):
+        t = Tensor(np.arange(4))
+        assert np.issubdtype(t.dtype, np.floating)
+
+    def test_requires_grad_default_false(self):
+        assert not Tensor([1.0]).requires_grad
+
+    def test_item_scalar(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_item_raises_on_vector(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0, 2.0]).item()
+
+    def test_detach_cuts_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = (a * 2).detach()
+        assert not b.requires_grad
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((5, 2)))) == 5
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+
+    def test_as_tensor_wraps_array(self):
+        assert isinstance(as_tensor(np.ones(3)), Tensor)
+
+
+class TestArithmeticGradients:
+    def test_add(self):
+        gradcheck(lambda ts: (ts[0] + ts[1]).sum(), [(3, 4), (3, 4)])
+
+    def test_add_broadcast_row(self):
+        gradcheck(lambda ts: (ts[0] + ts[1]).sum(), [(3, 4), (4,)])
+
+    def test_add_broadcast_col(self):
+        gradcheck(lambda ts: (ts[0] + ts[1]).sum(), [(3, 4), (3, 1)])
+
+    def test_add_scalar_constant(self):
+        gradcheck(lambda ts: (ts[0] + 2.5).sum(), [(3, 3)])
+
+    def test_radd(self):
+        gradcheck(lambda ts: (1.0 + ts[0]).sum(), [(2, 2)])
+
+    def test_neg(self):
+        gradcheck(lambda ts: (-ts[0]).sum(), [(4,)])
+
+    def test_sub(self):
+        gradcheck(lambda ts: (ts[0] - ts[1]).sum(), [(2, 3), (2, 3)])
+
+    def test_rsub(self):
+        gradcheck(lambda ts: (5.0 - ts[0]).sum(), [(4,)])
+
+    def test_mul(self):
+        gradcheck(lambda ts: (ts[0] * ts[1]).sum(), [(3, 2), (3, 2)])
+
+    def test_mul_broadcast(self):
+        gradcheck(lambda ts: (ts[0] * ts[1]).sum(), [(3, 2), (2,)])
+
+    def test_div(self):
+        gradcheck(lambda ts: (ts[0] / ts[1]).sum(), [(3,), (3,)],
+                  positive=True)
+
+    def test_rdiv(self):
+        gradcheck(lambda ts: (2.0 / ts[0]).sum(), [(3,)], positive=True)
+
+    def test_pow(self):
+        gradcheck(lambda ts: (ts[0] ** 3).sum(), [(4,)])
+
+    def test_pow_non_scalar_exponent_raises(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** np.array([1.0, 2.0])
+
+    def test_matmul_2d(self):
+        gradcheck(lambda ts: (ts[0] @ ts[1]).sum(), [(3, 4), (4, 2)])
+
+    def test_matmul_vector_result_values(self):
+        a = np.random.default_rng(0).normal(size=(3, 4))
+        b = np.random.default_rng(1).normal(size=(4, 2))
+        out = Tensor(a) @ Tensor(b)
+        np.testing.assert_allclose(out.data, a @ b)
+
+
+class TestNonlinearGradients:
+    def test_exp(self):
+        gradcheck(lambda ts: ts[0].exp().sum(), [(3, 3)])
+
+    def test_log(self):
+        gradcheck(lambda ts: ts[0].log().sum(), [(3,)], positive=True)
+
+    def test_sqrt(self):
+        gradcheck(lambda ts: ts[0].sqrt().sum(), [(3,)], positive=True)
+
+    def test_relu(self):
+        # Avoid kinks at 0 by shifting away from it.
+        gradcheck(lambda ts: (ts[0] + 10.0).relu().sum(), [(3, 3)])
+
+    def test_relu_zeroes_negatives(self):
+        t = Tensor([-1.0, 2.0, -3.0])
+        np.testing.assert_array_equal(t.relu().data, [0.0, 2.0, 0.0])
+
+    def test_tanh(self):
+        gradcheck(lambda ts: ts[0].tanh().sum(), [(4,)])
+
+    def test_sigmoid(self):
+        gradcheck(lambda ts: ts[0].sigmoid().sum(), [(4,)])
+
+    def test_abs(self):
+        gradcheck(lambda ts: (ts[0] + 5.0).abs().sum(), [(3,)])
+
+    def test_clip_gradient_masks_outside(self):
+        t = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        t.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_array_equal(t.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductions:
+    def test_sum_all(self):
+        gradcheck(lambda ts: ts[0].sum(), [(3, 4)])
+
+    def test_sum_axis0(self):
+        gradcheck(lambda ts: (ts[0].sum(axis=0) ** 2).sum(), [(3, 4)])
+
+    def test_sum_axis_tuple(self):
+        gradcheck(lambda ts: (ts[0].sum(axis=(0, 2)) ** 2).sum(), [(2, 3, 4)])
+
+    def test_sum_keepdims(self):
+        out = Tensor(np.ones((2, 3))).sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+
+    def test_mean(self):
+        gradcheck(lambda ts: ts[0].mean(), [(5,)])
+
+    def test_mean_axis(self):
+        gradcheck(lambda ts: (ts[0].mean(axis=1) ** 2).sum(), [(3, 4)])
+
+    def test_var(self):
+        gradcheck(lambda ts: ts[0].var(), [(6,)])
+
+    def test_var_matches_numpy(self):
+        x = np.random.default_rng(0).normal(size=(4, 5))
+        np.testing.assert_allclose(Tensor(x).var(axis=0).data,
+                                   x.var(axis=0))
+
+    def test_max_all(self):
+        # Unique max so the subgradient is well defined.
+        x = np.arange(6.0).reshape(2, 3)
+        t = Tensor(x, requires_grad=True)
+        t.max().backward()
+        expected = np.zeros_like(x)
+        expected[1, 2] = 1.0
+        np.testing.assert_array_equal(t.grad, expected)
+
+    def test_max_axis(self):
+        x = np.array([[1.0, 5.0], [7.0, 2.0]])
+        t = Tensor(x, requires_grad=True)
+        t.max(axis=1).sum().backward()
+        np.testing.assert_array_equal(t.grad, [[0, 1], [1, 0]])
+
+    def test_max_splits_ties(self):
+        t = Tensor([2.0, 2.0], requires_grad=True)
+        t.max().backward()
+        np.testing.assert_allclose(t.grad, [0.5, 0.5])
+
+
+class TestShapes:
+    def test_reshape_grad(self):
+        gradcheck(lambda ts: (ts[0].reshape(6) ** 2).sum(), [(2, 3)])
+
+    def test_reshape_minus_one(self):
+        assert Tensor(np.zeros((2, 3, 4))).reshape(2, -1).shape == (2, 12)
+
+    def test_transpose_grad(self):
+        gradcheck(lambda ts: (ts[0].transpose(1, 0) @ ts[1]).sum(),
+                  [(4, 3), (4, 2)])
+
+    def test_transpose_default_reverses(self):
+        assert Tensor(np.zeros((2, 3, 4))).T.shape == (4, 3, 2)
+
+    def test_getitem_grad(self):
+        t = Tensor(np.arange(6.0), requires_grad=True)
+        t[np.array([0, 0, 3])].sum().backward()
+        np.testing.assert_array_equal(t.grad, [2, 0, 0, 1, 0, 0])
+
+    def test_getitem_fancy_2d(self):
+        t = Tensor(np.arange(12.0).reshape(4, 3), requires_grad=True)
+        idx = np.array([1, 1, 2])
+        t[idx].sum().backward()
+        expected = np.zeros((4, 3))
+        expected[1] = 2.0
+        expected[2] = 1.0
+        np.testing.assert_array_equal(t.grad, expected)
+
+    def test_pad2d_roundtrip_grad(self):
+        gradcheck(lambda ts: (ts[0].pad2d(1) ** 2).sum(), [(1, 1, 3, 3)])
+
+    def test_pad2d_zero_is_identity(self):
+        t = Tensor(np.ones((1, 1, 2, 2)))
+        assert t.pad2d(0) is t
+
+    def test_stack_grad(self):
+        gradcheck(lambda ts: (stack(ts, axis=0) ** 2).sum(),
+                  [(2, 3), (2, 3)])
+
+    def test_concatenate_grad(self):
+        gradcheck(lambda ts: (concatenate(ts, axis=1) ** 2).sum(),
+                  [(2, 3), (2, 2)])
+
+
+class TestBackwardMechanics:
+    def test_backward_on_non_grad_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_non_scalar_needs_grad(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_backward_explicit_grad(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        (t * 3).backward(np.array([1.0, 10.0]))
+        np.testing.assert_array_equal(t.grad, [3.0, 30.0])
+
+    def test_backward_grad_shape_mismatch(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (t * 2).backward(np.ones(3))
+
+    def test_grad_accumulates_across_backwards(self):
+        t = Tensor([1.0], requires_grad=True)
+        (t * 2).sum().backward()
+        (t * 2).sum().backward()
+        np.testing.assert_array_equal(t.grad, [4.0])
+
+    def test_zero_grad(self):
+        t = Tensor([1.0], requires_grad=True)
+        (t * 2).sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_diamond_graph_counts_both_paths(self):
+        # y = x*x + x*x uses x through two paths.
+        x = Tensor([3.0], requires_grad=True)
+        y = x * x
+        (y + y).sum().backward()
+        np.testing.assert_allclose(x.grad, [12.0])
+
+    def test_shared_subexpression(self):
+        x = Tensor([2.0], requires_grad=True)
+        s = x * 3
+        ((s * s)).sum().backward()
+        np.testing.assert_allclose(x.grad, [36.0])
+
+    def test_no_grad_tracking_without_requires(self):
+        a = Tensor([1.0])
+        b = a * 2
+        assert b._backward is None and not b.requires_grad
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(2000):
+            y = y + 0.001
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+
+@settings(max_examples=25, deadline=None)
+@given(rows=st.integers(1, 5), cols=st.integers(1, 5))
+def test_unbroadcast_property(rows, cols):
+    """Broadcast-add gradients always reduce back to operand shapes."""
+    a = Tensor(np.ones((rows, cols)), requires_grad=True)
+    b = Tensor(np.ones((1, cols)), requires_grad=True)
+    (a + b).sum().backward()
+    assert a.grad.shape == (rows, cols)
+    assert b.grad.shape == (1, cols)
+    np.testing.assert_allclose(b.grad, rows * np.ones((1, cols)))
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(1, 6))
+def test_matmul_identity_property(n):
+    """x @ I == x and gradient of sum is all-ones."""
+    x = Tensor(np.random.default_rng(n).normal(size=(n, n)),
+               requires_grad=True)
+    out = x @ Tensor(np.eye(n))
+    np.testing.assert_allclose(out.data, x.data)
+    out.sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones((n, n)))

@@ -1,0 +1,68 @@
+"""Bit slicing into SLC/MLC cells."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.bitslice import (assemble_weights, cell_significances,
+                                  num_cells, slice_weights)
+
+
+class TestNumCells:
+    def test_slc(self):
+        assert num_cells(8, 1) == 8
+
+    def test_mlc2(self):
+        assert num_cells(8, 2) == 4
+
+    def test_ceil_division(self):
+        assert num_cells(8, 3) == 3
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            num_cells(0, 1)
+
+
+class TestSliceAssemble:
+    def test_known_slc_pattern(self):
+        digits = slice_weights(np.array([0b10110101]), 8, 1)
+        np.testing.assert_array_equal(digits[0], [1, 0, 1, 0, 1, 1, 0, 1])
+
+    def test_known_mlc_pattern(self):
+        digits = slice_weights(np.array([0b11100100]), 8, 2)
+        np.testing.assert_array_equal(digits[0], [0, 1, 2, 3])
+
+    def test_roundtrip_all_8bit_values(self):
+        values = np.arange(256)
+        for cell_bits in (1, 2, 4, 8):
+            digits = slice_weights(values, 8, cell_bits)
+            np.testing.assert_array_equal(
+                assemble_weights(digits, cell_bits), values)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            slice_weights(np.array([256]), 8, 1)
+        with pytest.raises(ValueError):
+            slice_weights(np.array([-1]), 8, 1)
+
+    def test_preserves_leading_shape(self):
+        digits = slice_weights(np.zeros((3, 4), dtype=int), 8, 2)
+        assert digits.shape == (3, 4, 4)
+
+    def test_assemble_accepts_floats(self):
+        """Noisy analog cell values reassemble linearly."""
+        digits = slice_weights(np.array([0b1010]), 4, 1).astype(float)
+        digits[0, 0] = 0.5    # a noisy '0' cell reading 0.5
+        assert assemble_weights(digits, 1)[0] == 0b1010 + 0.5
+
+    def test_significances(self):
+        np.testing.assert_array_equal(cell_significances(8, 2), [1, 4, 16, 64])
+        np.testing.assert_array_equal(cell_significances(4, 1), [1, 2, 4, 8])
+
+    @settings(max_examples=50, deadline=None)
+    @given(v=st.integers(0, 255), cell_bits=st.sampled_from([1, 2, 4]))
+    def test_roundtrip_property(self, v, cell_bits):
+        digits = slice_weights(np.array([v]), 8, cell_bits)
+        assert assemble_weights(digits, cell_bits)[0] == v
+        assert digits.max() <= (1 << cell_bits) - 1

@@ -1,0 +1,54 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestParsing:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out and "vawo*" in out
+
+    def test_overhead(self, capsys):
+        assert main(["overhead", "-m", "16", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "m=16" in out and "m=128" in out
+        assert "mm^2" in out
+
+    def test_experiment_table2(self, capsys):
+        assert main(["experiment", "--name", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "area" in out
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["deploy", "--method", "magic"])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+
+class TestEndToEnd:
+    """Exercise train + deploy on a cached quick workload.
+
+    Uses the shared on-disk cache, so after the first bench/test run
+    these are fast.
+    """
+
+    def test_train_then_deploy(self, capsys):
+        assert main(["train", "--workload", "lenet", "--preset", "quick",
+                     "--seed", "0"]) == 0
+        assert "float accuracy" in capsys.readouterr().out
+        assert main(["deploy", "--workload", "lenet", "--method", "vawo*",
+                     "--sigma", "0.5", "--trials", "1", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "deployed:" in out
+        assert "crossbars:" in out

@@ -1,0 +1,118 @@
+"""End-to-end integration: the paper's story on a controlled workload.
+
+These tests exercise the full public API surface the way the examples
+and benchmarks do — train, deploy with each scheme, verify the paper's
+qualitative claims — on a workload small enough for CI.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.energy import deployment_reading_power
+from repro.core import DeployConfig, Deployer, PWTConfig
+from repro.core.pwt import crossbar_modules
+from repro.device.cell import MLC2
+from repro.eval import evaluate_deployment, ideal_accuracy
+from repro.nn.trainer import evaluate_accuracy
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """One trained TinyMLP shared across the integration tests."""
+    from repro.nn.optim import Adam
+    from repro.nn.trainer import train_classifier
+    from tests.conftest import TinyMLP, make_blob_dataset
+
+    data = make_blob_dataset(n=320, seed=0)
+    model = TinyMLP(rng=np.random.default_rng(1))
+    opt = Adam(model.parameters(), lr=5e-3, weight_decay=1e-4)
+    train_classifier(model, data, epochs=12, batch_size=32,
+                     optimizer=opt, rng=2)
+    return model, data
+
+
+def deploy_and_eval(workload, method, sigma=0.6, m=8, cell=None, trials=3):
+    model, data = workload
+    kwargs = dict(sigma=sigma, granularity=m,
+                  pwt=PWTConfig(epochs=2, lr=0.5))
+    if cell is not None:
+        kwargs["cell"] = cell
+    cfg = DeployConfig.from_method(method, **kwargs)
+    deployer = Deployer(model, data, cfg, rng=0)
+    return deployer, evaluate_deployment(deployer, data, n_trials=trials,
+                                         rng=11).mean
+
+
+class TestPaperStory:
+    def test_plain_scheme_collapses(self, workload):
+        _, acc = deploy_and_eval(workload, "plain", sigma=1.0)
+        model, data = workload
+        assert acc < evaluate_accuracy(model, data) - 0.3
+
+    def test_full_method_recovers(self, workload):
+        _, plain = deploy_and_eval(workload, "plain")
+        _, full = deploy_and_eval(workload, "vawo*+pwt")
+        assert full > plain + 0.2
+
+    def test_method_ordering(self, workload):
+        accs = {m: deploy_and_eval(workload, m)[1]
+                for m in ("plain", "vawo*", "vawo*+pwt")}
+        assert accs["plain"] <= accs["vawo*"] + 0.05
+        assert accs["vawo*"] <= accs["vawo*+pwt"] + 0.05
+
+    def test_finer_granularity_helps(self, workload):
+        _, fine = deploy_and_eval(workload, "vawo*+pwt", m=8)
+        _, coarse = deploy_and_eval(workload, "vawo*+pwt", m=64)
+        assert fine >= coarse - 0.05
+
+    def test_accuracy_decreases_with_sigma(self, workload):
+        accs = [deploy_and_eval(workload, "vawo*", sigma=s)[1]
+                for s in (0.2, 1.0)]
+        assert accs[0] >= accs[1] - 0.02
+
+    def test_mlc_more_sensitive_than_slc(self, workload):
+        _, slc = deploy_and_eval(workload, "plain", sigma=0.5)
+        _, mlc = deploy_and_eval(workload, "plain", sigma=0.5, cell=MLC2)
+        assert mlc <= slc + 0.1
+
+    def test_vawo_star_reduces_reading_power(self, workload):
+        deployer, _ = deploy_and_eval(workload, "vawo*", cell=MLC2, trials=1)
+        assert deployment_reading_power(deployer) < 1.0
+
+    def test_combined_near_ideal_at_moderate_sigma(self, workload):
+        deployer, acc = deploy_and_eval(workload, "vawo*+pwt", sigma=0.4)
+        model, data = workload
+        ideal = ideal_accuracy(deployer, data)
+        assert acc >= ideal - 0.1
+
+
+class TestBitAccurateConsistency:
+    def test_deployed_layer_matches_engine(self, workload):
+        """The fast path and the cycle-accurate engine agree end to end."""
+        model, data = workload
+        cfg = DeployConfig.from_method("vawo*", sigma=0.5, granularity=8)
+        deployer = Deployer(model, data, cfg, rng=0)
+        deployed = deployer.program(rng=3)
+        layer = crossbar_modules(deployed)[0]
+        x = data.images[:4].reshape(4, -1)
+        from repro.nn.tensor import Tensor
+        fast = layer(Tensor(x)).data
+        # The engine models the crossbar datapath; the bias is digital
+        # and added outside it.
+        accurate = layer.make_engine().forward(x)
+        if layer.bias is not None:
+            accurate = accurate + layer.bias
+        np.testing.assert_allclose(fast, accurate, atol=1e-9)
+
+
+class TestWriteVerifyContrast:
+    def test_digital_offset_uses_single_write(self, workload):
+        """The paper's motivation: write-verify costs many pulses for the
+        same variation the digital offset absorbs with one write."""
+        from repro.device import (DeviceModel, VariationModel, write_verify)
+        from repro.device.cell import SLC
+
+        device = DeviceModel(SLC, VariationModel(0.5), n_bits=8)
+        values = np.random.default_rng(0).integers(0, 256, size=500)
+        res = write_verify(device, values, rel_tolerance=0.1, rng=1)
+        assert res.pulses.mean() > 2.0   # repeated programming is costly

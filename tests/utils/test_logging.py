@@ -1,0 +1,23 @@
+"""Logging helpers."""
+
+import logging
+
+from repro.utils.logging import get_logger
+
+
+class TestGetLogger:
+    def test_namespaced_under_repro(self):
+        assert get_logger("mymodule").name == "repro.mymodule"
+
+    def test_repro_names_kept(self):
+        assert get_logger("repro.core.vawo").name == "repro.core.vawo"
+
+    def test_root_handler_installed_once(self):
+        get_logger("a")
+        get_logger("b")
+        root = logging.getLogger("repro")
+        assert len(root.handlers) == 1
+
+    def test_default_level_warning(self):
+        get_logger("c")
+        assert logging.getLogger("repro").level == logging.WARNING

@@ -1,0 +1,44 @@
+"""RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_seed, make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_from_int_deterministic(self):
+        assert make_rng(42).integers(0, 1000) == make_rng(42).integers(0, 1000)
+
+    def test_passthrough_generator(self):
+        g = np.random.default_rng(0)
+        assert make_rng(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_streams_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert not np.array_equal(a.normal(size=10), b.normal(size=10))
+
+    def test_reproducible(self):
+        xs = [r.integers(0, 10**9) for r in spawn_rngs(7, 3)]
+        ys = [r.integers(0, 10**9) for r in spawn_rngs(7, 3)]
+        assert xs == ys
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+
+def test_derive_seed_range():
+    s = derive_seed(make_rng(0))
+    assert 0 <= s < 2 ** 63

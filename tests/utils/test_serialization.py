@@ -1,0 +1,39 @@
+"""Array save/load helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import load_arrays, load_metadata, save_arrays
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path, rng):
+        arrays = {"a": rng.normal(size=(3, 4)), "b": np.arange(5)}
+        path = tmp_path / "state"
+        save_arrays(str(path), arrays)
+        loaded = load_arrays(str(path))
+        assert set(loaded) == {"a", "b"}
+        np.testing.assert_array_equal(loaded["a"], arrays["a"])
+
+    def test_metadata_sidecar(self, tmp_path):
+        path = tmp_path / "state"
+        save_arrays(str(path), {"x": np.ones(2)}, metadata={"epoch": 3})
+        assert load_metadata(str(path))["epoch"] == 3
+
+    def test_npz_suffix_added(self, tmp_path):
+        save_arrays(str(tmp_path / "model"), {"x": np.ones(1)})
+        assert (tmp_path / "model.npz").exists()
+
+    def test_creates_parent_dirs(self, tmp_path):
+        save_arrays(str(tmp_path / "deep" / "nested" / "m"), {"x": np.ones(1)})
+        assert (tmp_path / "deep" / "nested" / "m.npz").exists()
+
+    def test_model_state_roundtrip(self, tmp_path, trained_tiny_mlp):
+        from tests.conftest import TinyMLP
+        path = tmp_path / "mlp"
+        save_arrays(str(path), trained_tiny_mlp.state_dict())
+        fresh = TinyMLP(rng=np.random.default_rng(99))
+        fresh.load_state_dict(load_arrays(str(path)))
+        for (_, a), (_, b) in zip(trained_tiny_mlp.named_parameters(),
+                                  fresh.named_parameters()):
+            np.testing.assert_array_equal(a.data, b.data)

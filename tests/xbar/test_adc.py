@@ -1,0 +1,47 @@
+"""ADC model."""
+
+import numpy as np
+import pytest
+
+from repro.xbar.adc import ADC
+
+
+class TestADC:
+    def test_ideal_is_identity(self, rng):
+        x = rng.normal(size=20)
+        np.testing.assert_array_equal(ADC().convert(x), x)
+
+    def test_quantizer_needs_full_scale(self):
+        with pytest.raises(ValueError):
+            ADC(bits=8)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            ADC(bits=0, full_scale=1.0)
+
+    def test_step(self):
+        adc = ADC(bits=3, full_scale=7.0)
+        np.testing.assert_allclose(adc.step, 1.0)
+
+    def test_ideal_has_no_step(self):
+        with pytest.raises(ValueError):
+            _ = ADC().step
+
+    def test_rounding_to_grid(self):
+        adc = ADC(bits=3, full_scale=7.0)
+        np.testing.assert_allclose(adc.convert(np.array([2.4, 2.6])),
+                                   [2.0, 3.0])
+
+    def test_saturation(self):
+        adc = ADC(bits=4, full_scale=10.0)
+        assert adc.convert(np.array([99.0]))[0] == 10.0
+
+    def test_clips_negative(self):
+        adc = ADC(bits=4, full_scale=10.0)
+        assert adc.convert(np.array([-3.0]))[0] == 0.0
+
+    def test_error_bounded_by_half_step(self, rng):
+        adc = ADC(bits=6, full_scale=1.0)
+        x = rng.uniform(0, 1, size=1000)
+        err = np.abs(adc.convert(x) - x)
+        assert err.max() <= adc.step / 2 + 1e-12

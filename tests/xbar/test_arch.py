@@ -1,0 +1,52 @@
+"""One-/two-crossbar schemes and the Table III normalisation."""
+
+import numpy as np
+import pytest
+
+from repro.xbar.arch import (OneCrossbarScheme, TwoCrossbarScheme,
+                             normalized_crossbar_number)
+
+
+class TestOneCrossbar:
+    def test_devices_per_weight(self):
+        assert OneCrossbarScheme(cells_per_weight=4).devices_per_weight() == 4
+
+    def test_cost(self):
+        cost = OneCrossbarScheme(4).cost(100, 30)
+        assert cost.devices_per_weight == 4
+        assert cost.crossbars_per_matrix == 1
+
+    def test_split_identity(self):
+        q = np.arange(5)
+        np.testing.assert_array_equal(OneCrossbarScheme(4).split(q), q)
+
+
+class TestTwoCrossbar:
+    def test_devices_per_weight_doubles(self):
+        assert TwoCrossbarScheme(5).devices_per_weight() == 10
+
+    def test_cost_doubles_crossbars(self):
+        assert TwoCrossbarScheme(4).cost(100, 30).crossbars_per_matrix == 2
+
+    def test_split_signs(self):
+        pos, neg = TwoCrossbarScheme(4).split(np.array([3, -2, 0]))
+        np.testing.assert_array_equal(pos, [3, 0, 0])
+        np.testing.assert_array_equal(neg, [0, 2, 0])
+
+    def test_split_combine_roundtrip(self, rng):
+        q = rng.integers(-100, 100, size=50)
+        scheme = TwoCrossbarScheme(4)
+        pos, neg = scheme.split(q)
+        np.testing.assert_array_equal(scheme.combine(pos, neg), q)
+
+
+class TestNormalisation:
+    def test_paper_table3_values(self):
+        """DVA: 8 SLC -> 2.0; PM: 10 MLC -> 2.5; ours: 4 MLC -> 1.0."""
+        assert normalized_crossbar_number(8, 4) == 2.0
+        assert normalized_crossbar_number(10, 4) == 2.5
+        assert normalized_crossbar_number(4, 4) == 1.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            normalized_crossbar_number(0, 4)

@@ -1,0 +1,69 @@
+"""Physical crossbar array."""
+
+import numpy as np
+import pytest
+
+from repro.xbar.crossbar import Crossbar
+
+
+class TestCrossbar:
+    def test_write_and_vmm(self, rng):
+        xb = Crossbar(4, 3)
+        g = rng.uniform(0, 1, size=(4, 3))
+        xb.write(g)
+        x = rng.uniform(0, 1, size=4)
+        np.testing.assert_allclose(xb.vmm(x), x @ g)
+
+    def test_vmm_batched(self, rng):
+        xb = Crossbar(5, 2)
+        g = rng.uniform(size=(5, 2))
+        xb.write(g)
+        x = rng.uniform(size=(7, 5))
+        np.testing.assert_allclose(xb.vmm(x), x @ g)
+
+    def test_write_shape_check(self):
+        with pytest.raises(ValueError):
+            Crossbar(4, 4).write(np.ones((3, 4)))
+
+    def test_negative_conductance_rejected(self):
+        with pytest.raises(ValueError):
+            Crossbar(2, 2).write(-np.ones((2, 2)))
+
+    def test_write_region(self, rng):
+        xb = Crossbar(8, 8)
+        patch = rng.uniform(size=(3, 2))
+        xb.write_region(patch, row0=2, col0=5)
+        np.testing.assert_array_equal(xb.conductances[2:5, 5:7], patch)
+        assert xb.conductances[0, 0] == 0
+
+    def test_write_region_bounds(self):
+        with pytest.raises(ValueError):
+            Crossbar(4, 4).write_region(np.ones((3, 3)), row0=2, col0=2)
+
+    def test_active_rows_mask(self, rng):
+        xb = Crossbar(6, 2)
+        g = rng.uniform(size=(6, 2))
+        xb.write(g)
+        x = np.ones(6)
+        out = xb.vmm(x, active_rows=np.array([0, 1]))
+        np.testing.assert_allclose(out, g[:2].sum(axis=0))
+
+    def test_vmm_grouped_sums_to_full(self, rng):
+        """Partial group currents must sum to the full VMM result."""
+        xb = Crossbar(8, 3)
+        g = rng.uniform(size=(8, 3))
+        xb.write(g)
+        x = rng.uniform(size=(2, 8))
+        grouped = xb.vmm_grouped(x, group_rows=4)
+        assert grouped.shape == (2, 2, 3)
+        np.testing.assert_allclose(grouped.sum(axis=1), xb.vmm(x))
+
+    def test_vmm_grouped_partial_last_group(self, rng):
+        xb = Crossbar(10, 2)
+        xb.write(rng.uniform(size=(10, 2)))
+        grouped = xb.vmm_grouped(np.ones(10), group_rows=4)
+        assert grouped.shape == (3, 2)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Crossbar(0, 4)

@@ -1,0 +1,139 @@
+"""Bit-accurate engine: the central equivalence guarantees."""
+
+import numpy as np
+import pytest
+
+from repro.core.offsets import OffsetPlan
+from repro.device.cell import MLC2, SLC
+from repro.device.lut import DeviceModel
+from repro.device.variation import VariationModel
+from repro.xbar.adc import ADC
+from repro.xbar.engine import CrossbarEngine
+
+
+def make_engine(rows=16, cols=3, m=8, cell=SLC, sigma=0.5, seed=0,
+                registers=None, complement=None, adc=None,
+                input_scale=1 / 255, weight_scale=0.01, zero_point=128):
+    rng = np.random.default_rng(seed)
+    device = DeviceModel(cell, VariationModel(sigma), n_bits=8)
+    plan = OffsetPlan(rows, cols, m)
+    values = rng.integers(0, 256, size=(rows, cols))
+    cells = device.program_cells(values, rng)
+    if registers is None:
+        registers = np.zeros((plan.n_groups, cols))
+    if complement is None:
+        complement = np.zeros((plan.n_groups, cols), dtype=bool)
+    return CrossbarEngine(
+        cells=cells, plan=plan, registers=registers, complement=complement,
+        cell=cell, weight_bits=8, input_bits=8, weight_scale=weight_scale,
+        weight_zero_point=zero_point, input_scale=input_scale, adc=adc)
+
+
+class TestEquivalence:
+    """With an ideal ADC the bit-serial pipeline must equal the float path."""
+
+    @pytest.mark.parametrize("cell", [SLC, MLC2])
+    @pytest.mark.parametrize("m", [4, 8, 16])
+    def test_matches_effective_weights(self, cell, m):
+        engine = make_engine(cell=cell, m=m, seed=1)
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0, 1, size=(5, 16))
+        got = engine.forward(x)
+        xq = engine.quantize_inputs(x) * engine.input_scale
+        expected = xq @ engine.effective_weights()
+        np.testing.assert_allclose(got, expected, rtol=1e-9, atol=1e-9)
+
+    def test_with_offsets(self):
+        rng = np.random.default_rng(3)
+        regs = rng.integers(-50, 50, size=(2, 3)).astype(float)
+        engine = make_engine(registers=regs, seed=4)
+        x = rng.uniform(0, 1, size=(4, 16))
+        xq = engine.quantize_inputs(x) * engine.input_scale
+        np.testing.assert_allclose(engine.forward(x),
+                                   xq @ engine.effective_weights(),
+                                   rtol=1e-9, atol=1e-9)
+
+    def test_with_complement_groups(self):
+        rng = np.random.default_rng(5)
+        comp = rng.random((2, 3)) > 0.5
+        regs = rng.integers(-20, 20, size=(2, 3)).astype(float)
+        engine = make_engine(registers=regs, complement=comp, seed=6)
+        x = rng.uniform(0, 1, size=(4, 16))
+        xq = engine.quantize_inputs(x) * engine.input_scale
+        np.testing.assert_allclose(engine.forward(x),
+                                   xq @ engine.effective_weights(),
+                                   rtol=1e-9, atol=1e-9)
+
+    def test_partial_last_group(self):
+        engine = make_engine(rows=13, m=8, seed=7)
+        x = np.random.default_rng(8).uniform(0, 1, size=(3, 13))
+        xq = engine.quantize_inputs(x) * engine.input_scale
+        np.testing.assert_allclose(engine.forward(x),
+                                   xq @ engine.effective_weights(),
+                                   rtol=1e-9, atol=1e-9)
+
+
+class TestOffsetPath:
+    def test_offset_adds_group_sum_times_b(self):
+        """Eq. 7: the offset contributes b_g * sum(x in group)."""
+        base = make_engine(seed=9)
+        regs = np.zeros((2, 3))
+        regs[0, 1] = 10.0
+        shifted = CrossbarEngine(
+            cells=base.cells, plan=base.plan, registers=regs,
+            complement=base.complement, cell=base.cell,
+            weight_scale=base.weight_scale,
+            weight_zero_point=base.weight_zero_point,
+            input_scale=base.input_scale)
+        x = np.random.default_rng(10).uniform(0, 1, size=(2, 16))
+        xq = base.quantize_inputs(x).astype(float)
+        delta = shifted.forward(x) - base.forward(x)
+        expected = np.zeros_like(delta)
+        expected[:, 1] = 10.0 * xq[:, :8].sum(axis=1) \
+            * base.input_scale * base.weight_scale
+        np.testing.assert_allclose(delta, expected, atol=1e-9)
+
+
+class TestADCEffects:
+    def test_finite_adc_changes_output(self):
+        coarse = ADC(bits=2, full_scale=8.0)
+        a = make_engine(seed=11, adc=None)
+        b = CrossbarEngine(
+            cells=a.cells, plan=a.plan, registers=a.registers,
+            complement=a.complement, cell=a.cell,
+            weight_scale=a.weight_scale,
+            weight_zero_point=a.weight_zero_point,
+            input_scale=a.input_scale, adc=coarse)
+        x = np.random.default_rng(12).uniform(0, 1, size=(2, 16))
+        assert not np.allclose(a.forward(x), b.forward(x))
+
+    def test_high_resolution_adc_near_ideal(self):
+        a = make_engine(seed=13)
+        fine = ADC(bits=16, full_scale=float(a.cells.sum()))
+        b = CrossbarEngine(
+            cells=a.cells, plan=a.plan, registers=a.registers,
+            complement=a.complement, cell=a.cell,
+            weight_scale=a.weight_scale,
+            weight_zero_point=a.weight_zero_point,
+            input_scale=a.input_scale, adc=fine)
+        x = np.random.default_rng(14).uniform(0, 1, size=(2, 16))
+        np.testing.assert_allclose(a.forward(x), b.forward(x), rtol=0.05,
+                                   atol=0.05)
+
+
+class TestValidation:
+    def test_shape_mismatches_rejected(self):
+        engine = make_engine()
+        with pytest.raises(ValueError):
+            CrossbarEngine(
+                cells=engine.cells, plan=OffsetPlan(8, 3, 4),
+                registers=engine.registers, complement=engine.complement,
+                cell=engine.cell)
+
+    def test_register_shape_checked(self):
+        engine = make_engine()
+        with pytest.raises(ValueError):
+            CrossbarEngine(
+                cells=engine.cells, plan=engine.plan,
+                registers=np.zeros((1, 1)), complement=engine.complement,
+                cell=engine.cell)

@@ -1,0 +1,64 @@
+"""Crossbar tiling and counting."""
+
+import numpy as np
+import pytest
+
+from repro.xbar.mapper import CrossbarMapper, layer_matrix_shape
+
+
+class TestMapper:
+    def test_paper_weight_cols(self):
+        """8-bit weights on 2-bit MLCs: l = 32 weight columns (Eq. 9 text)."""
+        assert CrossbarMapper(128, 4).weight_cols_per_xbar == 32
+
+    def test_single_tile(self):
+        assert CrossbarMapper(128, 4).count(100, 30) == 1
+
+    def test_row_tiling(self):
+        assert CrossbarMapper(128, 4).count(300, 30) == 3
+
+    def test_col_tiling(self):
+        assert CrossbarMapper(128, 4).count(100, 70) == 3
+
+    def test_grid_tiling(self):
+        assert CrossbarMapper(128, 4).count(200, 60) == 4
+
+    def test_tiles_cover_matrix(self):
+        tiles = CrossbarMapper(128, 4).tiles(200, 60)
+        covered = np.zeros((200, 60), dtype=int)
+        for t in tiles:
+            covered[t.row_start:t.row_stop, t.col_start:t.col_stop] += 1
+        np.testing.assert_array_equal(covered, np.ones((200, 60)))
+
+    def test_tile_dims_within_limits(self):
+        mapper = CrossbarMapper(128, 4)
+        for t in mapper.tiles(500, 100):
+            assert t.rows <= 128
+            assert t.weight_cols <= 32
+
+    def test_count_model(self):
+        mapper = CrossbarMapper(128, 4)
+        shapes = [(100, 30), (300, 30)]
+        assert mapper.count_model(shapes) == 1 + 3
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            CrossbarMapper(128, 200)
+        with pytest.raises(ValueError):
+            CrossbarMapper(0, 1)
+
+    def test_invalid_matrix(self):
+        with pytest.raises(ValueError):
+            CrossbarMapper().tiles(0, 5)
+
+
+class TestLayerMatrixShape:
+    def test_linear(self):
+        assert layer_matrix_shape((120, 400)) == (400, 120)
+
+    def test_conv(self):
+        assert layer_matrix_shape((16, 6, 5, 5)) == (150, 16)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            layer_matrix_shape((3,))

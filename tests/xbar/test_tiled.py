@@ -1,0 +1,68 @@
+"""Tiled multi-crossbar execution."""
+
+import numpy as np
+import pytest
+
+from repro.core.offsets import OffsetPlan
+from repro.device.cell import MLC2, SLC
+from repro.device.lut import DeviceModel
+from repro.device.variation import VariationModel
+from repro.xbar.engine import CrossbarEngine
+from repro.xbar.mapper import CrossbarMapper
+from repro.xbar.tiled import TiledCrossbarEngine
+
+
+def build(rows=300, cols=40, m=16, cell=MLC2, xbar_size=128, seed=0):
+    rng = np.random.default_rng(seed)
+    device = DeviceModel(cell, VariationModel(0.4), n_bits=8)
+    plan = OffsetPlan(rows, cols, m)
+    values = rng.integers(0, 256, size=(rows, cols))
+    cells = device.program_cells(values, rng)
+    registers = rng.integers(-20, 20, size=(plan.n_groups, cols)).astype(float)
+    complement = rng.random((plan.n_groups, cols)) > 0.5
+    common = dict(cells=cells, plan=plan, registers=registers,
+                  complement=complement, cell=cell,
+                  weight_scale=0.01, weight_zero_point=128,
+                  input_scale=1 / 255)
+    mono = CrossbarEngine(**common)
+    tiled = TiledCrossbarEngine(
+        mapper=CrossbarMapper(size=xbar_size,
+                              cells_per_weight=cells.shape[-1]), **common)
+    return mono, tiled, rng
+
+
+class TestTiledEquivalence:
+    def test_matches_monolithic_engine(self):
+        mono, tiled, rng = build()
+        x = rng.uniform(0, 1, size=(4, 300))
+        np.testing.assert_allclose(tiled.forward(x), mono.forward(x),
+                                   rtol=1e-9, atol=1e-9)
+
+    def test_crossbar_count_matches_mapper(self):
+        _, tiled, _ = build(rows=300, cols=40, cell=MLC2)
+        # MLC2: 4 cells/weight -> 32 weight cols per crossbar.
+        # rows 300 -> 3 row tiles; cols 40 -> 2 col tiles. 6 crossbars.
+        assert tiled.crossbar_count == 6
+
+    def test_single_tile_case(self):
+        mono, tiled, rng = build(rows=64, cols=16)
+        assert tiled.crossbar_count == 1
+        x = rng.uniform(0, 1, size=(2, 64))
+        np.testing.assert_allclose(tiled.forward(x), mono.forward(x),
+                                   rtol=1e-9)
+
+    def test_slc_wide_matrix(self):
+        mono, tiled, rng = build(rows=200, cols=20, cell=SLC)
+        x = rng.uniform(0, 1, size=(3, 200))
+        np.testing.assert_allclose(tiled.forward(x), mono.forward(x),
+                                   rtol=1e-9, atol=1e-9)
+
+    def test_granularity_must_divide_tile(self):
+        with pytest.raises(ValueError):
+            build(rows=300, cols=8, m=48, xbar_size=128)
+
+    def test_rows_not_multiple_of_tile(self):
+        mono, tiled, rng = build(rows=130, cols=8)
+        x = rng.uniform(0, 1, size=(2, 130))
+        np.testing.assert_allclose(tiled.forward(x), mono.forward(x),
+                                   rtol=1e-9, atol=1e-9)
