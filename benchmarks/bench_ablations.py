@@ -18,6 +18,7 @@ from _common import fmt_pct, preset, report, trials
 from repro.core.pipeline import DeployConfig, Deployer
 from repro.eval.accuracy import evaluate_deployment
 from repro.eval.experiments import build_workload
+from repro.utils.rng import make_rng
 
 
 def _acc(wl, **config_kwargs):
@@ -95,7 +96,7 @@ def test_adc_resolution_ablation(benchmark):
     from repro.xbar.engine import CrossbarEngine
 
     def run_adc():
-        rng = np.random.default_rng(0)
+        rng = make_rng(0)
         device = DeviceModel(MLC2, VariationModel(0.3), n_bits=8)
         plan = OffsetPlan(128, 16, 16)
         values = rng.integers(0, 256, size=(128, 16))

@@ -15,12 +15,13 @@ from repro.device.lut import DeviceModel, build_lut_analytic
 from repro.device.variation import VariationModel
 from repro.nn.tensor import Tensor
 from repro.xbar.engine import CrossbarEngine
+from repro.utils.rng import make_rng
 
 
 def test_device_programming_128x128(benchmark):
     device = DeviceModel(MLC2, VariationModel(0.5), n_bits=8)
-    values = np.random.default_rng(0).integers(0, 256, size=(128, 128))
-    rng = np.random.default_rng(1)
+    values = make_rng(0).integers(0, 256, size=(128, 128))
+    rng = make_rng(1)
     benchmark(device.program_cells, values, rng)
 
 
@@ -30,7 +31,7 @@ def test_lut_build_analytic(benchmark):
 
 
 def test_vawo_solver_128x128(benchmark):
-    rng = np.random.default_rng(0)
+    rng = make_rng(0)
     device = DeviceModel(SLC, VariationModel(0.5), n_bits=8)
     lut = build_lut_analytic(device)
     plan = OffsetPlan(128, 128, 16)
@@ -43,7 +44,7 @@ def test_vawo_solver_128x128(benchmark):
 
 
 def test_bit_accurate_engine_forward(benchmark):
-    rng = np.random.default_rng(0)
+    rng = make_rng(0)
     device = DeviceModel(MLC2, VariationModel(0.5), n_bits=8)
     plan = OffsetPlan(128, 32, 16)
     values = rng.integers(0, 256, size=(128, 32))
@@ -60,7 +61,7 @@ def test_bit_accurate_engine_forward(benchmark):
 def test_crossbar_layer_forward(benchmark):
     from repro.core.crossbar_layers import CrossbarLinear
 
-    rng = np.random.default_rng(0)
+    rng = make_rng(0)
     device = DeviceModel(SLC, VariationModel(0.5), n_bits=8)
     plan = OffsetPlan(400, 120, 16)
     values = rng.integers(0, 256, size=(400, 120))
@@ -77,7 +78,7 @@ def test_write_verify_pulse_loop(benchmark):
     from repro.device.programming import write_verify
 
     device = DeviceModel(SLC, VariationModel(0.5), n_bits=8)
-    values = np.random.default_rng(0).integers(0, 256, size=1000)
+    values = make_rng(0).integers(0, 256, size=1000)
     benchmark.pedantic(write_verify, args=(device, values),
-                       kwargs=dict(rng=np.random.default_rng(1)),
+                       kwargs=dict(rng=make_rng(1)),
                        rounds=3, iterations=1)

@@ -16,12 +16,13 @@ import numpy as np
 from repro.core.offsets import OffsetPlan
 from repro.device import (DeviceModel, VariationModel, write_verify)
 from repro.device.cell import SLC
+from repro.utils.rng import make_rng
 
 
 def main(seed: int = 0) -> None:
     sigma = 0.5
     device = DeviceModel(SLC, VariationModel(sigma), n_bits=8)
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     weights = np.clip(np.round(rng.normal(128, 30, size=(128, 16))),
                       0, 255).astype(np.int64)
 

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# One-shot local quality gate: repro-lint, (optional) ruff + mypy, tests.
+#
+# repro-lint and pytest only need numpy/pytest and always run; ruff and
+# mypy are CI-installed extras (`pip install -e ".[lint]"`), so locally
+# they run only when present rather than failing the whole gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== repro-lint =="
+python -m tools.lint src tests benchmarks
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff =="
+    ruff check src tests benchmarks tools
+else
+    echo "== ruff == (not installed, skipped — CI runs it)"
+fi
+
+if command -v mypy >/dev/null 2>&1; then
+    echo "== mypy =="
+    mypy
+else
+    echo "== mypy == (not installed, skipped — CI runs it)"
+fi
+
+echo "== pytest =="
+python -m pytest -x -q
+
+echo "== pytest (REPRO_DEBUG=1 shape contracts) =="
+REPRO_DEBUG=1 python -m pytest -x -q tests/xbar tests/core tests/utils
+
+echo "All checks passed."

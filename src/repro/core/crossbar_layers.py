@@ -24,7 +24,7 @@ so offset gradients can flow through deeper layers.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -147,6 +147,7 @@ class CrossbarLinear(_CrossbarBase):
     """
 
     def forward(self, x: Tensor) -> Tensor:
+        """Compute ``x @ W_eff + bias``: (N, in) -> (N, out)."""
         x = self._quantize_input(x)
         w = self.effective_weight_matrix()                  # (in, out)
         y = x @ w
@@ -166,12 +167,18 @@ class CrossbarConv2d(_CrossbarBase):
     def __init__(self, cells: np.ndarray, plan: OffsetPlan,
                  registers: np.ndarray, complement: np.ndarray,
                  cell: CellType, weight_bits: int, weight_scale: float,
-                 weight_zero_point: int, kernel_shape,
+                 weight_zero_point: int,
+                 kernel_shape: Sequence[int],
                  stride: int = 1, padding: int = 0,
                  input_quantizer: Optional[InputQuantizer] = None,
                  bias: Optional[np.ndarray] = None,
                  ntw: Optional[np.ndarray] = None,
                  grad_weights: Optional[np.ndarray] = None):
+        """Build the layer from its (rows, cols, n_cells) programmed state.
+
+        ``kernel_shape`` is the original conv kernel (F, C, kh, kw);
+        the stored matrix layout is rows = C*kh*kw, cols = F.
+        """
         super().__init__(cells, plan, registers, complement, cell,
                          weight_bits, weight_scale, weight_zero_point,
                          input_quantizer, bias, ntw, grad_weights)
@@ -183,6 +190,7 @@ class CrossbarConv2d(_CrossbarBase):
         self.padding = padding
 
     def forward(self, x: Tensor) -> Tensor:
+        """Convolve (N, C, H, W) inputs with the effective kernel."""
         x = self._quantize_input(x)
         f, c, kh, kw = self.kernel_shape
         w = self.effective_weight_matrix()                  # (c*kh*kw, f)

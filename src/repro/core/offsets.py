@@ -21,6 +21,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.utils.contracts import check_shapes
+
 
 @dataclass(frozen=True)
 class OffsetPlan:
@@ -53,7 +55,7 @@ class OffsetPlan:
 
     @property
     def group_sizes(self) -> np.ndarray:
-        """Weights per group (the last group may be partial)."""
+        """Weights per group, shape (n_groups,) — the last may be partial."""
         return np.bincount(self.group_index, minlength=self.n_groups)
 
     # ------------------------------------------------------------------
@@ -63,6 +65,7 @@ class OffsetPlan:
         """A zero register file of shape (n_groups, cols)."""
         return np.zeros((self.n_groups, self.cols))
 
+    @check_shapes("(k,c)->(r,c)")
     def expand(self, registers: np.ndarray) -> np.ndarray:
         """Per-group values (n_groups, cols) -> per-weight (rows, cols)."""
         registers = np.asarray(registers)
@@ -93,6 +96,7 @@ class OffsetPlan:
         out = grouped.sum(axis=-1)
         return np.moveaxis(out, -1, axis)
 
+    @check_shapes("(r,c)->(k,c)")
     def group_reduce_weights(self, weights: np.ndarray,
                              op: str = "mean") -> np.ndarray:
         """Reduce a (rows, cols) weight matrix to (n_groups, cols).
@@ -115,8 +119,12 @@ class OffsetPlan:
             return grouped.sum(axis=1) / self.group_sizes[:, None]
         raise ValueError(f"unknown op {op!r}")
 
+    @check_shapes("(r,c)")
     def pad_rows(self, matrix: np.ndarray, fill: float = 0.0) -> np.ndarray:
-        """Zero-pad the row axis up to a whole number of groups."""
+        """Pad (rows, cols) with ``fill`` rows up to a whole number of groups.
+
+        Returns shape (n_groups * granularity, cols).
+        """
         pad = self.n_groups * self.granularity - self.rows
         if pad == 0:
             return np.asarray(matrix)

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -87,7 +87,7 @@ class DeployConfig:
             raise ValueError("granularity must be positive")
 
     @classmethod
-    def from_method(cls, method: str, **kwargs) -> "DeployConfig":
+    def from_method(cls, method: str, **kwargs: Any) -> "DeployConfig":
         """Build a config from one of the paper's five scheme names."""
         flags = {
             "plain": dict(use_vawo=False, use_complement=False, use_pwt=False),
@@ -103,6 +103,7 @@ class DeployConfig:
 
     @property
     def method_name(self) -> str:
+        """The paper's scheme name for this flag combination."""
         key = (self.use_vawo, self.use_complement, self.use_pwt)
         return {
             (False, False, False): "plain",
@@ -196,6 +197,12 @@ class Deployer:
 
     def __init__(self, model: Module, train_data: Dataset,
                  config: DeployConfig, rng: RngLike = None):
+        """Run the noise-independent preparation for ``model``.
+
+        Quantizes weights, calibrates input ranges, estimates per-weight
+        gradients and solves VAWO (as configured) — everything needed
+        before the first :meth:`program` call.
+        """
         self.model = model
         self.config = config
         self.train_data = train_data
@@ -408,6 +415,7 @@ class Deployer:
         return sum(prep.plan.n_registers for prep in self.layers)
 
     def layer_matrix_shapes(self) -> List[Tuple[int, int]]:
+        """Per-layer crossbar matrix shape (rows, cols), in layer order."""
         return [(prep.plan.rows, prep.plan.cols) for prep in self.layers]
 
     def crossbar_count(self, crossbar_size: int = 128) -> int:

@@ -25,6 +25,7 @@ from repro.nn import functional as F
 from repro.nn.module import Module, Parameter
 from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor
+from repro.utils.contracts import check_shapes
 from repro.utils.logging import get_logger
 from repro.utils.rng import RngLike, make_rng
 
@@ -69,10 +70,12 @@ class PWTHistory:
 
     @property
     def initial_loss(self) -> float:
+        """Loss of the first recorded batch (NaN before any batch)."""
         return self.losses[0] if self.losses else float("nan")
 
     @property
     def final_loss(self) -> float:
+        """Loss of the most recent batch (NaN before any batch)."""
         return self.losses[-1] if self.losses else float("nan")
 
 
@@ -90,9 +93,12 @@ def crossbar_modules(model: Module) -> List[_CrossbarBase]:
     return [m for _, m in model.named_modules() if isinstance(m, _CrossbarBase)]
 
 
+@check_shapes("_->(k,c)")
 def analytic_offset_init(mod: _CrossbarBase,
                          offset_bits: int = 8) -> np.ndarray:
     """First-order optimal registers from the measured CRWs.
+
+    Returns the installed register file, shape (n_groups, cols).
 
     For each offset group, minimising the gradient-weighted squared
     weight error ``sum_i g_i^2 (W_i(b) - w_i*)^2`` over the register
@@ -131,7 +137,8 @@ def analytic_offset_init(mod: _CrossbarBase,
     return registers
 
 
-def run_pwt(model: Module, train_data: Dataset, config: PWTConfig = None,
+def run_pwt(model: Module, train_data: Dataset,
+            config: Optional[PWTConfig] = None,
             rng: RngLike = None) -> PWTHistory:
     """Train the offsets of ``model`` in place; returns the loss trace.
 

@@ -13,14 +13,17 @@ produced it, mirroring how a real chip needs its host-side metadata.
 
 from __future__ import annotations
 
-from pathlib import Path
-from typing import Dict
+from typing import TYPE_CHECKING, Dict
 
 import numpy as np
 
 from repro.core.pwt import crossbar_modules
 from repro.nn.module import Module
-from repro.utils.serialization import load_arrays, save_arrays
+from repro.utils.serialization import (load_arrays, normalize_archive_path,
+                                       save_arrays)
+
+if TYPE_CHECKING:  # import cycle: pipeline pulls in the whole deploy stack
+    from repro.core.pipeline import Deployer
 
 
 def save_deployment(model: Module, path: str) -> None:
@@ -42,7 +45,7 @@ def save_deployment(model: Module, path: str) -> None:
     save_arrays(path, arrays, metadata={"n_layers": len(mods)})
 
 
-def load_deployment(deployer, path: str) -> Module:
+def load_deployment(deployer: "Deployer", path: str) -> Module:
     """Rebuild a deployed model from a snapshot.
 
     ``deployer`` must be configured identically to the one that
@@ -78,8 +81,9 @@ def load_deployment(deployer, path: str) -> Module:
 
 
 def snapshot_exists(path: str) -> bool:
-    """Whether a snapshot file is present at ``path``."""
-    p = Path(path)
-    if p.suffix != ".npz":
-        p = p.with_suffix(".npz")
-    return p.exists()
+    """Whether a snapshot file is present at ``path``.
+
+    Uses the same suffix normalisation as the serialization helpers, so
+    this check and a later :func:`load_deployment` see the same file.
+    """
+    return normalize_archive_path(path).exists()

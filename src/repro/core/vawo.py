@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.core.offsets import OffsetPlan
 from repro.device.lut import DeviceLUT
+from repro.utils.contracts import check_shapes
 
 
 @dataclass
@@ -78,7 +79,10 @@ def _build_target_tables(lut: DeviceLUT, qmax: int,
 
 
 def offset_candidates(offset_bits: int = 8) -> np.ndarray:
-    """All representable signed register values (two's complement)."""
+    """All representable signed register values (two's complement).
+
+    Returns shape (2^offset_bits,), from -2^(bits-1) to 2^(bits-1) - 1.
+    """
     if offset_bits < 1:
         raise ValueError("offset_bits must be >= 1")
     half = 1 << (offset_bits - 1)
@@ -146,6 +150,7 @@ def _score_offsets(w: np.ndarray, g2: np.ndarray, active: np.ndarray,
     return best_b, best_obj
 
 
+@check_shapes("(r,c),(r,c)")
 def run_vawo(ntw: np.ndarray, grads: np.ndarray, lut: DeviceLUT,
              plan: OffsetPlan, weight_bits: int = 8, offset_bits: int = 8,
              use_complement: bool = False, grad_floor_frac: float = 0.1,
@@ -237,8 +242,13 @@ def run_vawo(ntw: np.ndarray, grads: np.ndarray, lut: DeviceLUT,
                       objective=objective)
 
 
+@check_shapes("(r,c)")
 def plain_assignment(ntw: np.ndarray, plan: OffsetPlan) -> VAWOResult:
-    """The paper's plain scheme: CTW = NTW, zero offsets, no complement."""
+    """The paper's plain scheme: CTW = NTW, zero offsets, no complement.
+
+    ``ntw`` has shape (rows, cols) matching ``plan``; the result carries
+    (rows, cols) CTWs and (n_groups, cols) registers/complement masks.
+    """
     ntw = np.asarray(ntw)
     if ntw.shape != (plan.rows, plan.cols):
         raise ValueError("ntw shape must match the offset plan")

@@ -47,10 +47,13 @@ class CellType:
 
     @property
     def max_level(self) -> int:
+        """Highest programmable level, ``2^bits - 1``."""
         return self.levels - 1
 
     def conductance(self, level: np.ndarray) -> np.ndarray:
         """Nominal conductance of each ``level`` in weight units.
+
+        Elementwise: the result has the same shape as ``level``.
 
         Linear conductance spacing between ``G_off`` and ``G_on``
         (the usual MLC target-state design), normalised so the top
@@ -64,7 +67,7 @@ class CellType:
         return c_max / r + level * (1.0 - 1.0 / r)
 
     def read_power(self, level: np.ndarray) -> np.ndarray:
-        """Relative read power of each level.
+        """Relative read power of each level (same shape as ``level``).
 
         At fixed read voltage, power is proportional to conductance
         (P = V^2 G) — this is what Table I's "reading power" measures:

@@ -41,15 +41,21 @@ class FaultMap:
 
     @property
     def shape(self) -> Tuple[int, ...]:
+        """The cell-array shape both fault masks cover."""
         return self.stuck_at_0.shape
 
     @property
     def fault_rate(self) -> float:
+        """Fraction of cells stuck at either level."""
         total = self.stuck_at_0.size
         return float((self.stuck_at_0.sum() + self.stuck_at_1.sum()) / total)
 
     def apply(self, conductances: np.ndarray, cell: CellType) -> np.ndarray:
-        """Pin faulty cells; healthy cells pass through unchanged."""
+        """Pin faulty cells; healthy cells pass through unchanged.
+
+        ``conductances`` must match the fault-map shape exactly; the
+        result has the same shape.
+        """
         if conductances.shape != self.shape:
             raise ValueError(
                 f"conductance shape {conductances.shape} does not match "
@@ -95,10 +101,12 @@ class FaultyDeviceModel:
 
     @property
     def cells_per_weight(self) -> int:
+        """Physical cells per weight (delegates to the wrapped model)."""
         return self.device.cells_per_weight
 
     @property
     def qmax(self) -> int:
+        """Largest writable integer weight (delegates to the model)."""
         return self.device.qmax
 
     def fault_map_for(self, shape: Tuple[int, ...]) -> FaultMap:
@@ -111,14 +119,21 @@ class FaultyDeviceModel:
 
     def program_cells(self, values: np.ndarray, rng: RngLike = None,
                       ddv_theta: Optional[np.ndarray] = None) -> np.ndarray:
-        """Program with variation, then pin the stuck cells."""
+        """Program with variation, then pin the stuck cells.
+
+        ``values`` (..., ) integer weights -> noisy conductances of
+        shape (..., cells_per_weight), with faulty cells pinned.
+        """
         noisy = self.device.program_cells(values, rng, ddv_theta=ddv_theta)
         fault_map = self.fault_map_for(noisy.shape)
         return fault_map.apply(noisy, self.device.cell)
 
     def program(self, values: np.ndarray, rng: RngLike = None,
                 ddv_theta: Optional[np.ndarray] = None) -> np.ndarray:
-        """Weight-level view of :meth:`program_cells`."""
+        """Weight-level view of :meth:`program_cells`.
+
+        Returns CRWs with the same shape as ``values``.
+        """
         from repro.quant.bitslice import assemble_weights
         cells = self.program_cells(values, rng, ddv_theta=ddv_theta)
         return assemble_weights(cells, self.device.cell.bits)

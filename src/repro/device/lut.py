@@ -50,17 +50,22 @@ class DeviceModel:
 
     @property
     def cells_per_weight(self) -> int:
+        """Physical cells needed to store one n-bit weight."""
         return num_cells(self.n_bits, self.cell.bits)
 
     @property
     def qmax(self) -> int:
+        """Largest writable integer weight, ``2^n_bits - 1``."""
         return (1 << self.n_bits) - 1
 
     # ------------------------------------------------------------------
     # programming
     # ------------------------------------------------------------------
     def nominal_cells(self, values: np.ndarray) -> np.ndarray:
-        """Nominal per-cell conductances for integer weights ``values``."""
+        """Nominal per-cell conductances for integer weights ``values``.
+
+        Appends a cell axis: (...,) values -> (..., cells_per_weight).
+        """
         digits = slice_weights(values, self.n_bits, self.cell.bits)
         return self.cell.conductance(digits)
 
@@ -68,6 +73,7 @@ class DeviceModel:
                 ddv_theta: Optional[np.ndarray] = None) -> np.ndarray:
         """Program integer weights once; return the resulting CRWs.
 
+        The CRW array has the same shape as ``values``.
         Each call models one programming cycle: the CCV component is
         redrawn, so repeated calls with the same ``values`` return
         different CRWs (the paper's cycle-to-cycle behaviour).
@@ -79,7 +85,10 @@ class DeviceModel:
 
     def program_cells(self, values: np.ndarray, rng: RngLike = None,
                       ddv_theta: Optional[np.ndarray] = None) -> np.ndarray:
-        """Like :meth:`program` but return the noisy per-cell conductances."""
+        """Like :meth:`program` but return the noisy per-cell conductances.
+
+        Appends a cell axis: (...,) values -> (..., cells_per_weight).
+        """
         rng = make_rng(rng)
         nominal = self.nominal_cells(values)
         return self.variation.perturb(nominal, rng, ddv_theta=ddv_theta)
@@ -88,13 +97,17 @@ class DeviceModel:
     # exact moments
     # ------------------------------------------------------------------
     def exact_mean(self, values: np.ndarray) -> np.ndarray:
-        """Closed-form E[R(v)] for lognormal cell noise."""
+        """Closed-form E[R(v)] for lognormal cell noise (elementwise:
+        same shape as ``values``)."""
         nominal = self.nominal_cells(np.asarray(values))
         sig = cell_significances(self.n_bits, self.cell.bits)
         return self.variation.mean_factor() * (nominal * sig).sum(axis=-1)
 
     def exact_var(self, values: np.ndarray) -> np.ndarray:
-        """Closed-form Var[R(v)]: cells are independent, so variances add."""
+        """Closed-form Var[R(v)] (elementwise: same shape as ``values``).
+
+        Cells are independent, so their variances add.
+        """
         nominal = self.nominal_cells(np.asarray(values))
         sig = cell_significances(self.n_bits, self.cell.bits)
         return self.variation.variance_factor() * ((nominal * sig) ** 2).sum(axis=-1)
@@ -110,6 +123,8 @@ class DeviceLUT:
     """
 
     def __init__(self, mean: np.ndarray, var: np.ndarray):
+        """Build a LUT from 1-D tables: ``mean[v]`` and ``var[v]``, both
+        shape (n_values,), indexed by the writable value ``v``."""
         mean = np.asarray(mean, dtype=np.float64)
         var = np.asarray(var, dtype=np.float64)
         if mean.shape != var.shape or mean.ndim != 1:
@@ -126,10 +141,14 @@ class DeviceLUT:
 
     @property
     def n_values(self) -> int:
+        """Number of writable values the table covers."""
         return len(self.mean)
 
     def invert(self, targets: np.ndarray) -> np.ndarray:
-        """Value(s) v whose E[R(v)] is nearest each target (vectorised)."""
+        """Value(s) v whose E[R(v)] is nearest each target.
+
+        Vectorised: the result has the same shape as ``targets``.
+        """
         targets = np.asarray(targets, dtype=np.float64)
         idx = np.searchsorted(self._sorted_mean, targets)
         lo = np.clip(idx - 1, 0, len(self.mean) - 1)
@@ -140,7 +159,8 @@ class DeviceLUT:
         return self._order[chosen]
 
     def residual(self, targets: np.ndarray) -> np.ndarray:
-        """``E[R(invert(t))] - t``: the bias VAWO cannot remove."""
+        """``E[R(invert(t))] - t``: the bias VAWO cannot remove
+        (elementwise: same shape as ``targets``)."""
         return self.mean[self.invert(targets)] - np.asarray(targets)
 
 

@@ -27,10 +27,12 @@ class WriteVerifyResult:
 
     @property
     def total_pulses(self) -> int:
+        """Programming pulses consumed across the whole array."""
         return int(self.pulses.sum())
 
     @property
     def convergence_rate(self) -> float:
+        """Fraction of weights that landed inside tolerance."""
         return float(self.converged.mean())
 
 

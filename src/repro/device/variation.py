@@ -49,24 +49,28 @@ class VariationModel:
 
     @property
     def sigma_ddv(self) -> float:
+        """Standard deviation of the persistent DDV theta component."""
         return self.sigma * np.sqrt(self.ddv_fraction)
 
     @property
     def sigma_ccv(self) -> float:
+        """Standard deviation of the per-cycle CCV theta component."""
         return self.sigma * np.sqrt(1.0 - self.ddv_fraction)
 
     # ------------------------------------------------------------------
     # sampling
     # ------------------------------------------------------------------
     def sample_ddv(self, shape: Tuple[int, ...], rng: RngLike = None) -> np.ndarray:
-        """Draw the persistent per-device theta component (once per chip)."""
+        """Draw the persistent per-device theta component (once per chip),
+        as an array of the requested ``shape``."""
         rng = make_rng(rng)
         if self.sigma_ddv == 0:
             return np.zeros(shape)
         return rng.normal(0.0, self.sigma_ddv, size=shape)
 
     def sample_ccv(self, shape: Tuple[int, ...], rng: RngLike = None) -> np.ndarray:
-        """Draw the per-programming-cycle theta component."""
+        """Draw the per-programming-cycle theta component, as an array of
+        the requested ``shape``."""
         rng = make_rng(rng)
         if self.sigma_ccv == 0:
             return np.zeros(shape)
@@ -76,6 +80,7 @@ class VariationModel:
                 ddv_theta: Optional[np.ndarray] = None) -> np.ndarray:
         """Apply one programming cycle's variation to nominal conductances.
 
+        Elementwise: the result has the same shape as ``nominal``.
         ``ddv_theta`` (if given) is the persistent component from
         :meth:`sample_ddv`; a fresh CCV draw is added on top.
         """

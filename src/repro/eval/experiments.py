@@ -45,7 +45,8 @@ from repro.nn.optim import Adam
 from repro.nn.trainer import evaluate_accuracy, train_classifier
 from repro.utils.logging import get_logger
 from repro.utils.rng import make_rng
-from repro.utils.serialization import load_arrays, save_arrays
+from repro.utils.serialization import (SerializationError, load_arrays,
+                                       save_arrays)
 from repro.xbar.arch import normalized_crossbar_number
 
 logger = get_logger(__name__)
@@ -146,8 +147,19 @@ def build_workload(name: str, preset: str = "quick", seed: int = 0,
     tag = "default" if train_override is None else train_override.__name__
     cache_dir = Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE
     cache_file = cache_dir / f"{name}-{preset}-{seed}-{tag}.npz"
+    cached_state = None
     if cache_file.exists():
-        model.load_state_dict(load_arrays(str(cache_file)))
+        try:
+            cached_state = load_arrays(str(cache_file))
+        except SerializationError as exc:
+            # A truncated/corrupt cache artifact must never poison the
+            # run — drop it and retrain (the class of failure that broke
+            # the seed's end-to-end test).
+            logger.warning("discarding unreadable cache %s: %s",
+                           cache_file, exc)
+            cache_file.unlink(missing_ok=True)
+    if cached_state is not None:
+        model.load_state_dict(cached_state)
         logger.info("loaded cached weights for %s", cache_file.stem)
     else:
         aug = _augmented(train, spec.noise_augment, make_rng(seed + 2))

@@ -13,6 +13,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.nn.tensor import Tensor
+from repro.utils.rng import make_rng
 
 
 # ----------------------------------------------------------------------
@@ -204,7 +205,7 @@ def dropout(x: Tensor, p: float, training: bool,
         return x
     if not 0.0 <= p < 1.0:
         raise ValueError(f"dropout probability must be in [0, 1), got {p}")
-    rng = rng or np.random.default_rng()
+    rng = make_rng(rng)
     mask = (rng.random(x.shape) >= p) / (1.0 - p)
 
     def backward(g: np.ndarray) -> None:

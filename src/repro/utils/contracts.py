@@ -1,0 +1,226 @@
+"""Lightweight runtime shape contracts for numpy-heavy entry points.
+
+The simulation stack moves (rows, cols)-shaped weight matrices,
+(n_groups, cols) register files and (N, rows) activation batches
+between layers; a silently transposed or mis-grouped array corrupts
+accuracy numbers without ever raising. :func:`check_shapes` lets the
+hot entry points state their shape algebra once, in the signature:
+
+.. code-block:: python
+
+    @check_shapes("(n,m),(m,)->(n,)")
+    def matvec(a, b): ...
+
+    @check_shapes("(...,r)->(...,c)", arg_names=["x"])
+    def vmm(self, x): ...
+
+Spec grammar (one group per checked argument, ``->`` before the
+return group, both optional):
+
+* ``(n,m)``      — 2-D; named dims must agree everywhere they appear
+                   in the same call (including the return value).
+* ``(n,3)``      — integer literals must match exactly.
+* ``(_, m)``     — ``_`` matches any extent without binding a name.
+* ``(...,r)``    — a leading ellipsis absorbs any number of batch
+                   dims; the remaining dims align right.
+* ``()``         — a 0-D scalar array (or python scalar).
+* ``_``          — (bare, outside parens) skip this argument entirely.
+
+Zero-cost by default: unless ``REPRO_DEBUG`` is set to a truthy value
+(``1``/``true``/``yes``/``on``) in the environment *at decoration
+time*, the decorator returns the function object unchanged — no
+wrapper frame, no per-call overhead. Tests force it on with
+``check_shapes(spec, enabled=True)``.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import os
+import re
+from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
+                    TypeVar, Union)
+
+import numpy as np
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+#: One dimension of a shape spec: an int literal, a name, "_" or "...".
+Dim = Union[int, str]
+
+
+class ShapeContractError(ValueError):
+    """A runtime value violated a :func:`check_shapes` contract."""
+
+
+def debug_enabled(env: Optional[str] = None) -> bool:
+    """Whether shape checking is globally enabled (``REPRO_DEBUG``)."""
+    value = os.environ.get("REPRO_DEBUG", "") if env is None else env
+    return value.strip().lower() in _TRUTHY
+
+
+_GROUP_RE = re.compile(r"\(([^()]*)\)|([A-Za-z_][A-Za-z0-9_]*)")
+
+
+def parse_spec(spec: str) -> Tuple[List[Optional[List[Dim]]],
+                                   Optional[List[Dim]]]:
+    """Parse a contract string into (argument groups, return group).
+
+    Each group is a list of dims, ``None`` for a skipped (``_``)
+    argument; the return group is ``None`` when the spec has no
+    ``->`` part.
+    """
+    spec = spec.strip()
+    if "->" in spec:
+        arg_part, _, ret_part = spec.partition("->")
+    else:
+        arg_part, ret_part = spec, ""
+    groups = _parse_group_list(arg_part)
+    ret_groups = _parse_group_list(ret_part) if ret_part.strip() else []
+    if len(ret_groups) > 1:
+        raise ValueError(f"at most one return group allowed in {spec!r}")
+    ret = ret_groups[0] if ret_groups else None
+    return groups, ret
+
+
+def _parse_group_list(text: str) -> List[Optional[List[Dim]]]:
+    groups: List[Optional[List[Dim]]] = []
+    pos = 0
+    text = text.strip()
+    while pos < len(text):
+        ch = text[pos]
+        if ch in ", \t":
+            pos += 1
+            continue
+        match = _GROUP_RE.match(text, pos)
+        if match is None:
+            raise ValueError(f"malformed shape spec near {text[pos:]!r}")
+        if match.group(2) is not None:          # bare name outside parens
+            if match.group(2) != "_":
+                raise ValueError(
+                    f"bare argument spec must be '_', got {match.group(2)!r}")
+            groups.append(None)
+        else:
+            groups.append(_parse_dims(match.group(1)))
+        pos = match.end()
+    return groups
+
+
+def _parse_dims(body: str) -> List[Dim]:
+    dims: List[Dim] = []
+    body = body.strip()
+    if not body:
+        return dims
+    for i, token in enumerate(t.strip() for t in body.split(",")):
+        if not token:
+            continue
+        if token == "...":
+            if i != 0:
+                raise ValueError("'...' is only allowed as the leading dim")
+            dims.append("...")
+        elif re.fullmatch(r"-?\d+", token):
+            dims.append(int(token))
+        elif re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", token):
+            dims.append(token)
+        else:
+            raise ValueError(f"bad dimension token {token!r}")
+    return dims
+
+
+def _check_group(label: str, value: Any, dims: Sequence[Dim],
+                 bindings: Dict[str, int], func_name: str) -> None:
+    shape = np.shape(value)
+    expected = list(dims)
+    variadic = bool(expected) and expected[0] == "..."
+    if variadic:
+        expected = expected[1:]
+        if len(shape) < len(expected):
+            raise ShapeContractError(
+                f"{func_name}: {label} has shape {shape}, needs at least "
+                f"{len(expected)} trailing dims matching "
+                f"({', '.join(map(str, dims))})")
+        shape = shape[len(shape) - len(expected):]
+    elif len(shape) != len(expected):
+        raise ShapeContractError(
+            f"{func_name}: {label} has shape {np.shape(value)}, expected "
+            f"{len(expected)}-D ({', '.join(map(str, dims))})")
+    for dim_spec, actual in zip(expected, shape):
+        if dim_spec == "_":
+            continue
+        if isinstance(dim_spec, int):
+            if actual != dim_spec:
+                raise ShapeContractError(
+                    f"{func_name}: {label} has shape {np.shape(value)}, "
+                    f"dim expected to be {dim_spec} is {actual}")
+            continue
+        bound = bindings.setdefault(str(dim_spec), int(actual))
+        if bound != actual:
+            raise ShapeContractError(
+                f"{func_name}: {label} has shape {np.shape(value)} but "
+                f"dim {dim_spec!r} was already bound to {bound}")
+
+
+def check_shapes(spec: str, arg_names: Optional[Sequence[str]] = None,
+                 enabled: Optional[bool] = None) -> Callable[[F], F]:
+    """Attach a runtime shape contract to a function.
+
+    Parameters
+    ----------
+    spec:
+        Contract string (see module docstring for the grammar). The
+        argument groups map onto the function's positional parameters
+        in order, skipping ``self``/``cls`` — or onto ``arg_names``
+        when given.
+    arg_names:
+        Explicit parameter names the groups apply to, for functions
+        where only a subset of arguments carries arrays.
+    enabled:
+        Force the check on/off regardless of ``REPRO_DEBUG``. The
+        default (``None``) consults the environment once, at
+        decoration time, so the disabled path costs nothing per call.
+    """
+    groups, ret_group = parse_spec(spec)     # validate eagerly, always
+
+    def decorate(func: F) -> F:
+        active = debug_enabled() if enabled is None else enabled
+        if not active:
+            return func
+        sig = inspect.signature(func)
+        params = [p.name for p in sig.parameters.values()
+                  if p.kind in (inspect.Parameter.POSITIONAL_ONLY,
+                                inspect.Parameter.POSITIONAL_OR_KEYWORD)]
+        if params and params[0] in ("self", "cls"):
+            params = params[1:]
+        names = list(arg_names) if arg_names is not None else params
+        if len(groups) > len(names):
+            raise ValueError(
+                f"{func.__qualname__}: spec {spec!r} has {len(groups)} "
+                f"argument groups but only {len(names)} checkable "
+                f"parameters {names}")
+        checked = list(zip(names, groups))
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            bound = sig.bind(*args, **kwargs)
+            bound.apply_defaults()
+            bindings: Dict[str, int] = {}
+            for name, dims in checked:
+                if dims is None:
+                    continue
+                value = bound.arguments.get(name)
+                if value is None:
+                    continue
+                _check_group(f"argument {name!r}", value, dims, bindings,
+                             func.__qualname__)
+            result = func(*args, **kwargs)
+            if ret_group is not None and result is not None:
+                _check_group("return value", result, ret_group, bindings,
+                             func.__qualname__)
+            return result
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

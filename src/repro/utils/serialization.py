@@ -2,47 +2,92 @@
 
 Everything is stored with ``numpy.savez`` (portable, no pickle of code
 objects) plus a small JSON sidecar for non-array metadata.
+
+Path normalisation contract
+---------------------------
+``save_arrays`` and ``load_arrays`` agree on one rule, applied in both
+directions: a path that does not already end in ``.npz`` gets ``.npz``
+*appended* (never substituted, so dotted stems like ``run-dva0.5`` are
+preserved), and the JSON sidecar lives next to the archive with the
+``.npz`` suffix replaced by ``.json``. :func:`normalize_archive_path`
+is the single implementation of that rule.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Mapping
+from typing import Any, Dict, Mapping, Optional, Union
 
 import numpy as np
 
+PathLike = Union[str, Path]
 
-def save_arrays(path: str, arrays: Mapping[str, np.ndarray],
-                metadata: Mapping[str, Any] = None) -> None:
-    """Save a named family of arrays (e.g. a model state dict) to ``path``.
 
-    ``path`` gets a ``.npz`` suffix if it has none; metadata (JSON-able
-    scalars only) is stored alongside as ``<path>.json``.
+class SerializationError(RuntimeError):
+    """An on-disk artifact exists but cannot be read back."""
+
+
+def normalize_archive_path(path: PathLike) -> Path:
+    """Canonical ``.npz`` archive path for ``path``.
+
+    Appends ``.npz`` when missing. Appending (rather than
+    ``Path.with_suffix``) keeps dotted stems intact: ``run-dva0.5``
+    normalises to ``run-dva0.5.npz``, not ``run-dva0.npz``.
     """
     p = Path(path)
-    if p.suffix != ".npz":
-        p = p.with_suffix(".npz")
+    if p.suffix == ".npz":
+        return p
+    return p.with_name(p.name + ".npz")
+
+
+def sidecar_path(path: PathLike) -> Path:
+    """The JSON metadata sidecar path for an archive at ``path``."""
+    p = normalize_archive_path(path)
+    return p.with_name(p.name[: -len(".npz")] + ".json")
+
+
+def save_arrays(path: PathLike, arrays: Mapping[str, np.ndarray],
+                metadata: Optional[Mapping[str, Any]] = None) -> Path:
+    """Save a named family of arrays (e.g. a model state dict) to ``path``.
+
+    ``path`` is normalised via :func:`normalize_archive_path`; metadata
+    (JSON-able scalars only) is stored alongside as ``<path>.json``.
+    Returns the archive path actually written.
+    """
+    p = normalize_archive_path(path)
     p.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(p, **{k: np.asarray(v) for k, v in arrays.items()})
+    np.savez(str(p), **{k: np.asarray(v) for k, v in arrays.items()})  # npz-ok
     if metadata is not None:
-        p.with_suffix(".json").write_text(json.dumps(dict(metadata), indent=2))
+        sidecar_path(p).write_text(json.dumps(dict(metadata), indent=2))
+    return p
 
 
-def load_arrays(path: str) -> Dict[str, np.ndarray]:
-    """Load arrays saved by :func:`save_arrays`."""
-    p = Path(path)
-    if p.suffix != ".npz":
-        p = p.with_suffix(".npz")
-    with np.load(p) as data:
-        return {k: data[k] for k in data.files}
+def load_arrays(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load arrays saved by :func:`save_arrays`.
+
+    ``path`` goes through the same normalisation as ``save_arrays``, so
+    the two always agree on the on-disk name. A file that exists but is
+    not a readable ``.npz`` archive (e.g. a truncated artifact) raises
+    :class:`SerializationError` naming the offending file, instead of a
+    bare ``zipfile.BadZipFile`` from deep inside numpy.
+    """
+    p = normalize_archive_path(path)
+    try:
+        with np.load(str(p)) as data:  # npz-ok
+            return {k: data[k] for k in data.files}
+    except FileNotFoundError:
+        raise
+    except Exception as exc:
+        raise SerializationError(
+            f"{p} exists but is not a readable .npz archive "
+            f"({type(exc).__name__}: {exc}); it may be truncated or "
+            f"corrupt — delete it and regenerate") from exc
 
 
-def load_metadata(path: str) -> Dict[str, Any]:
+def load_metadata(path: PathLike) -> Dict[str, Any]:
     """Load the JSON metadata sidecar written by :func:`save_arrays`."""
     p = Path(path)
-    if p.suffix == ".npz":
-        p = p.with_suffix(".json")
-    elif p.suffix != ".json":
-        p = p.with_suffix(".json")
-    return json.loads(p.read_text())
+    if p.suffix == ".json":
+        return dict(json.loads(p.read_text()))
+    return dict(json.loads(sidecar_path(p).read_text()))

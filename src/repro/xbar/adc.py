@@ -28,6 +28,7 @@ class ADC:
 
     def __init__(self, bits: Optional[int] = None,
                  full_scale: Optional[float] = None):
+        """Validate and store the converter configuration."""
         if bits is not None:
             if bits < 1:
                 raise ValueError("ADC bits must be >= 1")
@@ -38,16 +39,21 @@ class ADC:
 
     @property
     def ideal(self) -> bool:
+        """Whether this converter is the lossless identity."""
         return self.bits is None
 
     @property
     def step(self) -> float:
+        """Quantization step size (LSB) of a non-ideal converter."""
         if self.ideal:
             raise ValueError("ideal ADC has no quantization step")
         return self.full_scale / ((1 << self.bits) - 1)
 
     def convert(self, current: np.ndarray) -> np.ndarray:
-        """Digitise ``current``; returns values on the quantizer grid."""
+        """Digitise ``current``; returns values on the quantizer grid.
+
+        Elementwise: the result has the same shape as ``current``.
+        """
         current = np.asarray(current, dtype=np.float64)
         if self.ideal:
             return current

@@ -34,18 +34,22 @@ class OneCrossbarScheme:
     """
 
     def __init__(self, cells_per_weight: int, crossbar_size: int = 128):
+        """Configure the layout for a given cell-per-weight count."""
         self.cells_per_weight = cells_per_weight
         self.mapper = CrossbarMapper(size=crossbar_size,
                                      cells_per_weight=cells_per_weight)
 
     def devices_per_weight(self) -> int:
+        """Devices needed to represent one weight."""
         return self.cells_per_weight
 
     def cost(self, rows: int, cols: int) -> SchemeCost:
+        """Device cost of mapping a (rows, cols) weight matrix."""
         return SchemeCost(self.cells_per_weight, self.mapper.count(rows, cols))
 
     def split(self, q_shifted: np.ndarray) -> np.ndarray:
-        """Identity — shifted weights are stored directly."""
+        """Identity — shifted weights are stored directly (same shape
+        as ``q_shifted``)."""
         return np.asarray(q_shifted)
 
 
@@ -58,24 +62,29 @@ class TwoCrossbarScheme:
     """
 
     def __init__(self, cells_per_weight: int, crossbar_size: int = 128):
+        """Configure the layout for a given cell-per-weight count."""
         self.cells_per_weight = cells_per_weight
         self.mapper = CrossbarMapper(size=crossbar_size,
                                      cells_per_weight=cells_per_weight)
 
     def devices_per_weight(self) -> int:
+        """Devices needed to represent one weight (two arrays' worth)."""
         return 2 * self.cells_per_weight
 
     def cost(self, rows: int, cols: int) -> SchemeCost:
+        """Device cost of mapping a (rows, cols) weight matrix."""
         return SchemeCost(2 * self.cells_per_weight,
                           2 * self.mapper.count(rows, cols))
 
     def split(self, q_signed: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Signed integers -> (positive array, negative array)."""
+        """Signed integers -> (positive array, negative array), each
+        with the same shape as ``q_signed``."""
         q = np.asarray(q_signed)
         return np.maximum(q, 0), np.maximum(-q, 0)
 
     def combine(self, z_pos: np.ndarray, z_neg: np.ndarray) -> np.ndarray:
-        """Subtract the negative crossbar's output current."""
+        """Subtract the negative crossbar's output current
+        (elementwise; both inputs share one shape)."""
         return np.asarray(z_pos) - np.asarray(z_neg)
 
 

@@ -16,11 +16,14 @@ from typing import Optional
 
 import numpy as np
 
+from repro.utils.contracts import check_shapes
+
 
 class Crossbar:
     """An R x C array of programmable conductances."""
 
     def __init__(self, rows: int, cols: int):
+        """Allocate a zeroed (rows, cols) conductance array."""
         if rows < 1 or cols < 1:
             raise ValueError("crossbar dimensions must be positive")
         self.rows = rows
@@ -29,7 +32,7 @@ class Crossbar:
 
     @property
     def conductances(self) -> np.ndarray:
-        """The stored conductance matrix (weight units)."""
+        """The stored (rows, cols) conductance matrix (weight units)."""
         return self._g
 
     def write(self, conductances: np.ndarray) -> None:
@@ -53,6 +56,7 @@ class Crossbar:
             raise ValueError("conductances must be non-negative")
         self._g[row0:row0 + r, col0:col0 + c] = conductances
 
+    @check_shapes("(...,r)->(...,c)", arg_names=["x"])
     def vmm(self, x: np.ndarray, active_rows: Optional[np.ndarray] = None) -> np.ndarray:
         """Column currents for drive vector(s) ``x``.
 
@@ -69,6 +73,7 @@ class Crossbar:
             x = x * mask
         return x @ self._g
 
+    @check_shapes("(...,r)->(...,g,c)", arg_names=["x"])
     def vmm_grouped(self, x: np.ndarray, group_rows: int) -> np.ndarray:
         """Per-activation-group partial currents.
 

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING
 
 from repro.device.cell import CellType
 from repro.quant.bitslice import cell_significances
+from repro.utils.contracts import check_shapes
 from repro.xbar.adc import ADC
 
 if TYPE_CHECKING:  # runtime import would create a repro.core <-> repro.xbar cycle
@@ -89,17 +90,20 @@ class CrossbarEngine:
 
     @property
     def weight_qmax(self) -> int:
+        """Largest integer weight code, ``2^weight_bits - 1``."""
         return (1 << self.weight_bits) - 1
 
     @property
     def input_qmax(self) -> int:
+        """Largest integer input code, ``2^input_bits - 1``."""
         return (1 << self.input_bits) - 1
 
     def quantize_inputs(self, x: np.ndarray) -> np.ndarray:
-        """Float activations -> integer input codes."""
+        """Float activations -> integer input codes (same shape as ``x``)."""
         return np.clip(np.round(np.asarray(x) / self.input_scale),
                        0, self.input_qmax).astype(np.int64)
 
+    @check_shapes("(...,r)->(_,c)", arg_names=["x"])
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Run the full pipeline on float activations (N, rows) -> (N, cols)."""
         x = np.atleast_2d(np.asarray(x, dtype=np.float64))
@@ -143,7 +147,8 @@ class CrossbarEngine:
         return self.input_scale * self.weight_scale * z
 
     def effective_weights(self) -> np.ndarray:
-        """The float weight matrix this engine implements (ideal-ADC view).
+        """The float (rows, cols) weight matrix this engine implements
+        (ideal-ADC view).
 
         Reassembles noisy cells into CRWs, applies offsets and
         complement, and dequantizes — the fast evaluation path's W.

@@ -26,10 +26,12 @@ class TileSpec:
 
     @property
     def rows(self) -> int:
+        """Wordlines this tile spans."""
         return self.row_stop - self.row_start
 
     @property
     def weight_cols(self) -> int:
+        """Weight columns this tile spans."""
         return self.col_stop - self.col_start
 
 
@@ -53,6 +55,7 @@ class CrossbarMapper:
 
     @property
     def weight_cols_per_xbar(self) -> int:
+        """Weight columns one crossbar stores (the paper's ``l``)."""
         return self.size // self.cells_per_weight
 
     def tiles(self, rows: int, cols: int) -> List[TileSpec]:

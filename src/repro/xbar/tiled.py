@@ -36,6 +36,8 @@ class TiledCrossbarEngine:
                  weight_bits: int = 8, input_bits: int = 8,
                  weight_scale: float = 1.0, weight_zero_point: int = 0,
                  input_scale: float = 1.0, adc: Optional[ADC] = None):
+        """Split the (rows, cols, n_cells) cell array into tiles and
+        build one :class:`CrossbarEngine` per tile."""
         from repro.core.offsets import OffsetPlan
 
         rows, cols, n_cells = cells.shape
@@ -66,10 +68,12 @@ class TiledCrossbarEngine:
 
     @property
     def crossbar_count(self) -> int:
+        """Number of physical crossbars the matrix occupies."""
         return len(self.tiles)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        """Drive every tile and digitally combine the partial outputs."""
+        """Drive every tile and digitally combine the partial outputs:
+        (N, rows) activations -> (N, cols) outputs."""
         x = np.atleast_2d(np.asarray(x, dtype=np.float64))
         out = np.zeros((x.shape[0], self.plan.cols))
         for tile, engine in zip(self.tiles, self._engines):

@@ -7,6 +7,7 @@ from repro.baselines.dva import (DVA_DEVICES_PER_WEIGHT, DVAConfig,
                                  _WeightPerturber, train_dva)
 from repro.nn.trainer import evaluate_accuracy
 from tests.conftest import TinyMLP, make_blob_dataset
+from repro.utils.rng import make_rng
 
 
 class TestConfig:
@@ -54,7 +55,7 @@ class TestPerturber:
 
 class TestTraining:
     def test_loss_decreases(self, blob_data):
-        model = TinyMLP(rng=np.random.default_rng(0))
+        model = TinyMLP(rng=make_rng(0))
         losses = train_dva(model, blob_data,
                            DVAConfig(sigma=0.3, epochs=4, lr=5e-3), rng=1)
         assert losses[-1] < losses[0]
@@ -66,15 +67,15 @@ class TestTraining:
         from repro.nn.trainer import train_classifier
 
         data = make_blob_dataset(n=300, seed=3)
-        clean = TinyMLP(rng=np.random.default_rng(0))
+        clean = TinyMLP(rng=make_rng(0))
         opt = Adam(clean.parameters(), lr=5e-3)
         train_classifier(clean, data, epochs=6, batch_size=32,
                          optimizer=opt, rng=4)
-        dva = TinyMLP(rng=np.random.default_rng(0))
+        dva = TinyMLP(rng=make_rng(0))
         train_dva(dva, data, DVAConfig(sigma=0.6, epochs=6, lr=5e-3), rng=4)
 
         def noisy_acc(model, seed):
-            rng = np.random.default_rng(seed)
+            rng = make_rng(seed)
             p = _WeightPerturber(model, perturb_biases=False)
             p.apply(1.2, rng)   # heavy noise so the clean model degrades
             try:

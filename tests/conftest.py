@@ -9,11 +9,12 @@ from repro.data.loaders import Dataset
 from repro.nn.layers import Flatten, Linear, ReLU, Sequential
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor
+from repro.utils.rng import make_rng
 
 
 @pytest.fixture
 def rng():
-    return np.random.default_rng(0)
+    return make_rng(0)
 
 
 class TinyMLP(Module):
@@ -35,7 +36,7 @@ class TinyMLP(Module):
 def make_blob_dataset(n: int = 240, num_classes: int = 4,
                       seed: int = 0) -> Dataset:
     """A separable 8x8 'image' dataset: one bright quadrant per class."""
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     labels = rng.integers(0, num_classes, size=n)
     images = rng.normal(0.1, 0.05, size=(n, 1, 8, 8))
     for i, lbl in enumerate(labels):
@@ -51,7 +52,7 @@ def blob_data():
 
 @pytest.fixture
 def tiny_mlp():
-    return TinyMLP(rng=np.random.default_rng(1))
+    return TinyMLP(rng=make_rng(1))
 
 
 @pytest.fixture
@@ -60,8 +61,8 @@ def trained_tiny_mlp(blob_data):
     from repro.nn.optim import Adam
     from repro.nn.trainer import train_classifier
 
-    model = TinyMLP(rng=np.random.default_rng(1))
+    model = TinyMLP(rng=make_rng(1))
     opt = Adam(model.parameters(), lr=5e-3, weight_decay=1e-4)
     train_classifier(model, blob_data, epochs=12, batch_size=32,
-                     optimizer=opt, rng=np.random.default_rng(2))
+                     optimizer=opt, rng=make_rng(2))
     return model

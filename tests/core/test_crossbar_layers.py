@@ -12,11 +12,12 @@ from repro.device.variation import VariationModel
 from repro.nn import functional as F
 from repro.nn.tensor import Tensor
 from repro.quant.quantizer import InputQuantizer
+from repro.utils.rng import make_rng
 
 
 def make_linear(rows=8, cols=3, m=4, sigma=0.3, seed=0, complement=None,
                 input_quant=False, scale=0.01, zp=128):
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     device = DeviceModel(SLC, VariationModel(sigma), n_bits=8)
     plan = OffsetPlan(rows, cols, m)
     ntw = rng.integers(0, 256, size=(rows, cols))
@@ -129,7 +130,7 @@ class TestQuantizeOffsets:
 
 class TestConvLayer:
     def make_conv(self, seed=0, sigma=0.3):
-        rng = np.random.default_rng(seed)
+        rng = make_rng(seed)
         device = DeviceModel(SLC, VariationModel(sigma), n_bits=8)
         kernel_shape = (4, 2, 3, 3)                 # F, C, kh, kw
         rows, cols = 2 * 9, 4

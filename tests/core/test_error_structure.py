@@ -10,10 +10,11 @@ non-negative inputs sum it constructively.
 """
 
 import numpy as np
+from repro.utils.rng import make_rng
 
 
 def test_coherent_bias_hurts_sqrt_n_more_than_iid():
-    rng = np.random.default_rng(0)
+    rng = make_rng(0)
     n = 400                                   # fan-in of a LeNet fc layer
     x = rng.uniform(0, 1, size=(256, n))      # non-negative activations
     rms = 10.0
@@ -37,7 +38,7 @@ def test_vawo_solutions_have_no_coherent_column_bias():
     from repro.device.lut import DeviceModel, build_lut_analytic
     from repro.device.variation import VariationModel
 
-    rng = np.random.default_rng(1)
+    rng = make_rng(1)
     plan = OffsetPlan(128, 8, 16)
     ntw = np.clip(np.round(rng.normal(128, 30, size=(128, 8))),
                   0, 255).astype(np.int64)

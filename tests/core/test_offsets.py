@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.offsets import OffsetPlan
+from repro.utils.rng import make_rng
 
 
 class TestBasics:
@@ -74,7 +75,7 @@ class TestGroupSum:
 
     def test_offset_dot_identity(self):
         """sum_i x_i * expand(b)_i == sum_g b_g * group_sum(x)_g  (Eq. 1)."""
-        rng = np.random.default_rng(0)
+        rng = make_rng(0)
         plan = OffsetPlan(12, 3, 4)
         b = rng.normal(size=(plan.n_groups, 3))
         x = rng.normal(size=12)
@@ -118,7 +119,7 @@ class TestGroupReduce:
        m=st.integers(1, 16))
 def test_expand_group_sum_adjoint_property(rows, cols, m):
     """expand and group_sum are adjoint linear maps."""
-    rng = np.random.default_rng(rows * 100 + cols * 10 + m)
+    rng = make_rng(rows * 100 + cols * 10 + m)
     plan = OffsetPlan(rows, cols, m)
     b = rng.normal(size=(plan.n_groups, cols))
     x = rng.normal(size=rows)

@@ -8,6 +8,7 @@ from repro.core.vawo import (offset_candidates, plain_assignment, run_vawo)
 from repro.device.cell import MLC2, SLC
 from repro.device.lut import DeviceModel, build_lut_analytic
 from repro.device.variation import VariationModel
+from repro.utils.rng import make_rng
 
 
 def make_lut(sigma=0.5, cell=SLC):
@@ -16,7 +17,7 @@ def make_lut(sigma=0.5, cell=SLC):
 
 
 def bell_weights(rows, cols, seed=0, std=30):
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     return np.clip(np.round(rng.normal(128, std, size=(rows, cols))),
                    0, 255).astype(np.int64)
 
@@ -54,7 +55,7 @@ class TestRunVAWO:
         """Eq. 6: E[R(v)] + b stays within tolerance of w* everywhere."""
         plan = OffsetPlan(32, 4, 8)
         ntw = bell_weights(32, 4)
-        grads = np.abs(np.random.default_rng(1).normal(size=(32, 4)))
+        grads = np.abs(make_rng(1).normal(size=(32, 4)))
         lut = make_lut()
         res = run_vawo(ntw, grads, lut, plan, bias_tolerance=2.0)
         e_nrw = lut.mean[res.ctw] + plan.expand(res.registers)
@@ -85,7 +86,7 @@ class TestRunVAWO:
         """VAWO* explores a superset of VAWO's solutions."""
         plan = OffsetPlan(64, 4, 16)
         ntw = bell_weights(64, 4, seed=7)
-        grads = np.abs(np.random.default_rng(8).normal(size=(64, 4))) + 0.1
+        grads = np.abs(make_rng(8).normal(size=(64, 4))) + 0.1
         lut = make_lut()
         plain_obj = run_vawo(ntw, grads, lut, plan).objective
         star_obj = run_vawo(ntw, grads, lut, plan,
@@ -148,7 +149,7 @@ class TestRunVAWO:
     def test_gradient_weighting_prioritises_sensitive_weights(self):
         """The high-gradient weight should end up with lower variance."""
         plan = OffsetPlan(8, 1, 8)
-        rng = np.random.default_rng(13)
+        rng = make_rng(13)
         ntw = np.clip(np.round(rng.normal(128, 40, size=(8, 1))),
                       0, 255).astype(np.int64)
         lut = make_lut()

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.data.synthetic import synthetic_cifar, synthetic_digits
+from repro.utils.rng import make_rng
 
 
 class TestDigits:
@@ -33,7 +34,7 @@ class TestDigits:
         assert not np.array_equal(x1, x2)
 
     def test_instances_of_same_digit_vary(self):
-        rng = np.random.default_rng(0)
+        rng = make_rng(0)
         from repro.data.synthetic import _render_digit
         a = _render_digit(3, 28, rng)
         b = _render_digit(3, 28, rng)

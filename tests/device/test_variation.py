@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.device.variation import VariationModel
+from repro.utils.rng import make_rng
 
 
 class TestConstruction:
@@ -35,13 +36,13 @@ class TestSampling:
 
     def test_empirical_mean_matches_formula(self):
         v = VariationModel(0.5)
-        rng = np.random.default_rng(0)
+        rng = make_rng(0)
         samples = v.perturb(np.ones(200_000), rng)
         np.testing.assert_allclose(samples.mean(), v.mean_factor(), rtol=0.01)
 
     def test_empirical_variance_matches_formula(self):
         v = VariationModel(0.5)
-        rng = np.random.default_rng(1)
+        rng = make_rng(1)
         samples = v.perturb(np.ones(400_000), rng)
         np.testing.assert_allclose(samples.var(), v.variance_factor(),
                                    rtol=0.05)
@@ -49,7 +50,7 @@ class TestSampling:
     def test_median_is_nominal(self):
         """exp(theta) has median 1: half the draws land below nominal."""
         v = VariationModel(0.8)
-        rng = np.random.default_rng(2)
+        rng = make_rng(2)
         samples = v.perturb(np.ones(100_000), rng)
         assert abs((samples < 1.0).mean() - 0.5) < 0.01
 
@@ -68,8 +69,8 @@ class TestSampling:
 
     def test_total_variance_independent_of_split(self):
         """DDV+CCV splits with equal total sigma give equal total spread."""
-        rng1 = np.random.default_rng(3)
-        rng2 = np.random.default_rng(3)
+        rng1 = make_rng(3)
+        rng2 = make_rng(3)
         pure_ccv = VariationModel(0.6, 0.0).perturb(np.ones(200_000), rng1)
         half = VariationModel(0.6, 0.5).perturb(np.ones(200_000), rng2)
         np.testing.assert_allclose(np.log(pure_ccv).std(),

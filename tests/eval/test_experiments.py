@@ -9,6 +9,7 @@ import pytest
 
 from repro.eval.experiments import (_augmented, build_workload, run_table2,
                                     workload_names)
+from repro.utils.rng import make_rng
 
 
 class TestWorkloadRegistry:
@@ -26,15 +27,15 @@ class TestWorkloadRegistry:
 
 class TestAugmentation:
     def test_doubles_dataset(self, blob_data):
-        aug = _augmented(blob_data, 0.1, np.random.default_rng(0))
+        aug = _augmented(blob_data, 0.1, make_rng(0))
         assert len(aug) == 2 * len(blob_data)
 
     def test_zero_level_identity(self, blob_data):
-        assert _augmented(blob_data, 0.0, np.random.default_rng(0)) \
+        assert _augmented(blob_data, 0.0, make_rng(0)) \
             is blob_data
 
     def test_values_stay_in_range(self, blob_data):
-        aug = _augmented(blob_data, 0.5, np.random.default_rng(0))
+        aug = _augmented(blob_data, 0.5, make_rng(0))
         assert aug.images.min() >= 0 and aug.images.max() <= 1
 
 

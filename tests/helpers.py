@@ -7,6 +7,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.nn.tensor import Tensor
+from repro.utils.rng import make_rng
 
 
 def numeric_grad(f: Callable[[], float], x: np.ndarray,
@@ -39,7 +40,7 @@ def gradcheck(build: Callable[[Sequence[Tensor]], Tensor],
     input shapes. ``positive`` draws strictly positive inputs (for log /
     sqrt / division).
     """
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     tensors = []
     for shape in shapes:
         data = rng.normal(0.0, 1.0, size=shape)

@@ -6,6 +6,7 @@ import pytest
 from repro.nn import functional as F
 from repro.nn.tensor import Tensor
 from tests.helpers import gradcheck, numeric_grad
+from repro.utils.rng import make_rng
 
 
 def naive_conv2d(x, w, b, stride, pad):
@@ -187,12 +188,12 @@ class TestDropout:
     def test_scaling_preserves_expectation(self):
         x = Tensor(np.ones((200, 200)))
         out = F.dropout(x, 0.5, training=True,
-                        rng=np.random.default_rng(0))
+                        rng=make_rng(0))
         assert abs(out.data.mean() - 1.0) < 0.02
 
     def test_mask_backward(self):
         x = Tensor(np.ones((10, 10)), requires_grad=True)
-        out = F.dropout(x, 0.5, training=True, rng=np.random.default_rng(1))
+        out = F.dropout(x, 0.5, training=True, rng=make_rng(1))
         out.sum().backward()
         np.testing.assert_allclose(x.grad, out.data)
 

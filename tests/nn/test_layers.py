@@ -7,6 +7,7 @@ from repro.nn.layers import (AvgPool2d, BatchNorm2d, Conv2d, Dropout,
                              Flatten, GlobalAvgPool2d, Identity, Linear,
                              MaxPool2d, ReLU, Sequential)
 from repro.nn.tensor import Tensor
+from repro.utils.rng import make_rng
 
 
 class TestLinear:
@@ -66,7 +67,7 @@ class TestPoolingLayers:
 class TestBatchNorm2d:
     def test_shapes_and_params(self):
         bn = BatchNorm2d(6)
-        out = bn(Tensor(np.random.default_rng(0).normal(size=(4, 6, 3, 3))))
+        out = bn(Tensor(make_rng(0).normal(size=(4, 6, 3, 3))))
         assert out.shape == (4, 6, 3, 3)
         assert {n for n, _ in bn.named_parameters()} == {"gamma", "beta"}
 

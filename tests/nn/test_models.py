@@ -6,6 +6,7 @@ import pytest
 from repro.nn.models import (LeNet, resnet18, resnet18_slim, resnet_tiny,
                              vgg16, vgg16_slim)
 from repro.nn.tensor import Tensor
+from repro.utils.rng import make_rng
 
 
 class TestLeNet:
@@ -82,7 +83,7 @@ class TestTrainability:
         from repro.nn.optim import Adam
 
         net = LeNet(rng=0)
-        x = np.random.default_rng(0).random((8, 1, 28, 28))
+        x = make_rng(0).random((8, 1, 28, 28))
         y = np.arange(8) % 10
         opt = Adam(net.parameters(), lr=1e-2)
         losses = []

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.nn.tensor import Tensor, as_tensor, concatenate, stack
 from tests.helpers import gradcheck
+from repro.utils.rng import make_rng
 
 
 class TestBasics:
@@ -97,8 +98,8 @@ class TestArithmeticGradients:
         gradcheck(lambda ts: (ts[0] @ ts[1]).sum(), [(3, 4), (4, 2)])
 
     def test_matmul_vector_result_values(self):
-        a = np.random.default_rng(0).normal(size=(3, 4))
-        b = np.random.default_rng(1).normal(size=(4, 2))
+        a = make_rng(0).normal(size=(3, 4))
+        b = make_rng(1).normal(size=(4, 2))
         out = Tensor(a) @ Tensor(b)
         np.testing.assert_allclose(out.data, a @ b)
 
@@ -160,7 +161,7 @@ class TestReductions:
         gradcheck(lambda ts: ts[0].var(), [(6,)])
 
     def test_var_matches_numpy(self):
-        x = np.random.default_rng(0).normal(size=(4, 5))
+        x = make_rng(0).normal(size=(4, 5))
         np.testing.assert_allclose(Tensor(x).var(axis=0).data,
                                    x.var(axis=0))
 
@@ -304,7 +305,7 @@ def test_unbroadcast_property(rows, cols):
 @given(n=st.integers(1, 6))
 def test_matmul_identity_property(n):
     """x @ I == x and gradient of sum is all-ones."""
-    x = Tensor(np.random.default_rng(n).normal(size=(n, n)),
+    x = Tensor(make_rng(n).normal(size=(n, n)),
                requires_grad=True)
     out = x @ Tensor(np.eye(n))
     np.testing.assert_allclose(out.data, x.data)

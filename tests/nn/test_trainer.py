@@ -6,31 +6,32 @@ import pytest
 from repro.nn.optim import SGD
 from repro.nn.trainer import TrainResult, evaluate_accuracy, train_classifier
 from tests.conftest import TinyMLP
+from repro.utils.rng import make_rng
 
 
 class TestTrainClassifier:
     def test_learns_blob_task(self, blob_data):
-        model = TinyMLP(rng=np.random.default_rng(0))
+        model = TinyMLP(rng=make_rng(0))
         result = train_classifier(model, blob_data, epochs=8, batch_size=32,
                                   lr=5e-3, rng=1)
         assert result.final_accuracy > 0.9
 
     def test_losses_trend_down(self, blob_data):
-        model = TinyMLP(rng=np.random.default_rng(0))
+        model = TinyMLP(rng=make_rng(0))
         result = train_classifier(model, blob_data, epochs=4, batch_size=32,
                                   lr=5e-3, rng=1)
         assert result.epoch_losses[-1] < result.epoch_losses[0]
 
     def test_eval_data_used_for_scoring(self, blob_data):
         from tests.conftest import make_blob_dataset
-        model = TinyMLP(rng=np.random.default_rng(0))
+        model = TinyMLP(rng=make_rng(0))
         holdout = make_blob_dataset(n=60, seed=9)
         result = train_classifier(model, blob_data, epochs=2, batch_size=32,
                                   eval_data=holdout, rng=1)
         assert len(result.epoch_accuracies) == 2
 
     def test_custom_optimizer(self, blob_data):
-        model = TinyMLP(rng=np.random.default_rng(0))
+        model = TinyMLP(rng=make_rng(0))
         opt = SGD(model.parameters(), lr=0.05, momentum=0.9)
         result = train_classifier(model, blob_data, epochs=3, batch_size=32,
                                   optimizer=opt, rng=1)

@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.quant.quantizer import AffineQuantizer, InputQuantizer
+from repro.utils.rng import make_rng
 
 
 class TestAffineQuantizer:
@@ -60,7 +61,7 @@ class TestAffineQuantizer:
     @given(lo=st.floats(-100, 0), span=st.floats(0.1, 200),
            bits=st.integers(2, 10))
     def test_roundtrip_property(self, lo, span, bits):
-        rng = np.random.default_rng(0)
+        rng = make_rng(0)
         w = rng.uniform(lo, lo + span, size=50)
         qt = AffineQuantizer(bits).quantize(w)
         assert qt.values.min() >= 0

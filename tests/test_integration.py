@@ -14,6 +14,7 @@ from repro.core.pwt import crossbar_modules
 from repro.device.cell import MLC2
 from repro.eval import evaluate_deployment, ideal_accuracy
 from repro.nn.trainer import evaluate_accuracy
+from repro.utils.rng import make_rng
 
 
 @pytest.fixture(scope="module")
@@ -24,7 +25,7 @@ def workload():
     from tests.conftest import TinyMLP, make_blob_dataset
 
     data = make_blob_dataset(n=320, seed=0)
-    model = TinyMLP(rng=np.random.default_rng(1))
+    model = TinyMLP(rng=make_rng(1))
     opt = Adam(model.parameters(), lr=5e-3, weight_decay=1e-4)
     train_classifier(model, data, epochs=12, batch_size=32,
                      optimizer=opt, rng=2)
@@ -113,6 +114,6 @@ class TestWriteVerifyContrast:
         from repro.device.cell import SLC
 
         device = DeviceModel(SLC, VariationModel(0.5), n_bits=8)
-        values = np.random.default_rng(0).integers(0, 256, size=500)
+        values = make_rng(0).integers(0, 256, size=500)
         res = write_verify(device, values, rel_tolerance=0.1, rng=1)
         assert res.pulses.mean() > 2.0   # repeated programming is costly

@@ -1,0 +1,318 @@
+"""Per-rule positive/negative fixtures for repro-lint (tools/lint).
+
+Each rule gets at least one snippet it must flag and one it must not;
+the suppression mechanisms (pragmas, per-rule path scoping, inline
+markers) are exercised explicitly. Tests drive the programmatic
+``check_source`` API, so they need no temp files.
+"""
+
+import textwrap
+
+import pytest
+
+from tools.lint import ALL_RULES, check_source
+from tools.lint.report import Violation
+from tools.lint.runner import check_paths, collect_files, main
+
+
+def lint(code, path="example.py", select=None):
+    return check_source(textwrap.dedent(code), path, select=select)
+
+
+def codes(violations):
+    return [v.code for v in violations]
+
+
+class TestR1UnseededRandom:
+    def test_flags_np_random_normal(self):
+        out = lint("""
+            import numpy as np
+            x = np.random.normal(0, 1, size=4)
+        """)
+        assert codes(out) == ["R1"]
+        assert "np.random" in out[0].message or "random.normal" in out[0].message
+
+    def test_flags_bare_default_rng(self):
+        out = lint("""
+            import numpy as np
+            rng = np.random.default_rng()
+        """)
+        assert codes(out) == ["R1"]
+
+    def test_resolves_import_aliases(self):
+        out = lint("""
+            import numpy
+            from numpy import random as npr
+            a = numpy.random.rand(3)
+            b = npr.normal()
+        """)
+        assert codes(out) == ["R1", "R1"]
+
+    def test_allows_make_rng(self):
+        out = lint("""
+            from repro.utils.rng import make_rng
+            rng = make_rng(0)
+            x = rng.normal(size=3)
+        """)
+        assert out == []
+
+    def test_exempt_inside_rng_module(self):
+        out = lint("""
+            import numpy as np
+            rng = np.random.default_rng(seed)
+        """, path="src/repro/utils/rng.py")
+        assert out == []
+
+    def test_line_pragma_suppresses(self):
+        out = lint("""
+            import numpy as np
+            x = np.random.rand(2)  # repro-lint: disable=R1
+        """)
+        assert out == []
+
+    def test_file_pragma_suppresses(self):
+        out = lint("""
+            # repro-lint: disable-file=R1
+            import numpy as np
+            x = np.random.rand(2)
+            y = np.random.rand(2)
+        """)
+        assert out == []
+
+    def test_unrelated_random_module_not_flagged(self):
+        out = lint("""
+            import random
+            x = random.random()
+        """)
+        assert out == []
+
+
+class TestR2MutableDefault:
+    def test_flags_list_literal_default(self):
+        out = lint("""
+            def f(items=[]):
+                return items
+        """)
+        assert codes(out) == ["R2"]
+
+    def test_flags_dict_call_and_kwonly_default(self):
+        out = lint("""
+            def f(a, cache=dict(), *, seen=set()):
+                return a
+        """)
+        assert codes(out) == ["R2", "R2"]
+
+    def test_flags_lambda_default(self):
+        out = lint("g = lambda xs=[]: xs\n")
+        assert codes(out) == ["R2"]
+
+    def test_allows_none_and_immutable_defaults(self):
+        out = lint("""
+            def f(items=None, n=3, name="x", point=(0, 0)):
+                items = [] if items is None else items
+                return items
+        """)
+        assert out == []
+
+
+R3_PATH = "src/repro/core/example.py"
+
+
+class TestR3TypedPublicApi:
+    def test_flags_missing_annotations(self):
+        out = lint("""
+            def step(state, n=1):
+                '''Advance the state.'''
+                return state
+        """, path=R3_PATH)
+        assert codes(out) == ["R3", "R3"]  # params + return annotation
+
+    def test_flags_missing_docstring(self):
+        out = lint("""
+            def qmax(bits: int) -> int:
+                return (1 << bits) - 1
+        """, path=R3_PATH)
+        assert codes(out) == ["R3"]
+
+    def test_flags_array_function_without_shape_docs(self):
+        out = lint("""
+            import numpy as np
+            def vmm(x: np.ndarray) -> np.ndarray:
+                '''Multiply.'''
+                return x
+        """, path=R3_PATH)
+        assert codes(out) == ["R3"]
+        assert "shape" in out[0].message
+
+    def test_accepts_fully_documented_function(self):
+        out = lint("""
+            import numpy as np
+            def vmm(x: np.ndarray) -> np.ndarray:
+                '''Column currents: (N, rows) -> (N, cols).'''
+                return x
+        """, path=R3_PATH)
+        assert out == []
+
+    def test_private_functions_and_classes_exempt(self):
+        out = lint("""
+            def _helper(x):
+                return x
+
+            class _Internal:
+                def method(self, x):
+                    return x
+        """, path=R3_PATH)
+        assert out == []
+
+    def test_init_needs_no_return_annotation(self):
+        out = lint("""
+            class Box:
+                '''A box.'''
+                def __init__(self, n: int):
+                    '''Store n.'''
+                    self.n = n
+        """, path=R3_PATH)
+        assert out == []
+
+    def test_out_of_scope_paths_ignored(self):
+        code = """
+            def totally_untyped(a, b):
+                return a + b
+        """
+        assert lint(code, path="src/repro/eval/example.py") == []
+        assert lint(code, path="tests/core/test_example.py") == []
+
+
+class TestR4DtypeNarrowing:
+    def test_flags_float32_weight_cast(self):
+        out = lint("""
+            import numpy as np
+            w32 = np.asarray(weights, dtype=np.float32)
+        """)
+        assert codes(out) == ["R4"]
+
+    def test_flags_string_dtype_on_conductances(self):
+        out = lint("""
+            import numpy as np
+            g = np.array(conductances, dtype="float16")
+        """)
+        assert codes(out) == ["R4"]
+
+    def test_allows_float64(self):
+        out = lint("""
+            import numpy as np
+            w = np.asarray(weights, dtype=np.float64)
+        """)
+        assert out == []
+
+    def test_allows_non_sensitive_names(self):
+        out = lint("""
+            import numpy as np
+            img = np.asarray(pixels, dtype=np.uint8)
+        """)
+        assert out == []
+
+    def test_dtype_ok_marker_suppresses(self):
+        out = lint("""
+            import numpy as np
+            w32 = np.asarray(weights, dtype=np.float32)  # dtype-ok
+        """)
+        assert out == []
+
+
+class TestR5NpzSuffix:
+    def test_flags_suffixless_savez_and_load(self):
+        out = lint("""
+            import numpy as np
+            np.savez(path, x=x)
+            data = np.load(path)
+        """)
+        assert codes(out) == ["R5", "R5"]
+
+    def test_allows_visible_npz_suffix(self):
+        out = lint("""
+            import numpy as np
+            np.savez("out/run.npz", x=x)
+            data = np.load(str(base) + ".npz")
+        """)
+        assert out == []
+
+    def test_npz_ok_marker_suppresses(self):
+        out = lint("""
+            import numpy as np
+            np.savez(str(p), x=x)  # npz-ok
+        """)
+        assert out == []
+
+    def test_unrelated_load_not_flagged(self):
+        out = lint("""
+            import json
+            data = json.load(fh)
+        """)
+        assert out == []
+
+
+class TestInfrastructure:
+    def test_syntax_error_reported_as_e999(self):
+        out = lint("def broken(:\n")
+        assert codes(out) == ["E999"]
+
+    def test_select_filters_rules(self):
+        code = """
+            import numpy as np
+            def f(items=[]):
+                return np.random.rand(2)
+        """
+        assert codes(lint(code, select=["R2"])) == ["R2"]
+        assert set(codes(lint(code))) == {"R1", "R2"}
+
+    def test_unknown_select_code_rejected(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            lint("x = 1\n", select=["R9"])
+
+    def test_violation_rendering(self):
+        v = Violation(path="a.py", line=3, col=5, code="R1", message="msg")
+        assert v.render() == "a.py:3:5: R1 msg"
+
+    def test_all_rules_have_unique_codes(self):
+        rule_codes = [r.code for r in ALL_RULES]
+        assert len(rule_codes) == len(set(rule_codes))
+        assert rule_codes == sorted(rule_codes)
+
+    def test_collect_files_skips_cache_dirs(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "ok.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "junk.py").write_text("x = 1\n")
+        files = collect_files([str(tmp_path)])
+        assert [f.name for f in files] == ["ok.py"]
+
+    def test_check_paths_on_real_file(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nx = np.random.rand(2)\n")
+        out = check_paths([str(bad)])
+        assert codes(out) == ["R1"]
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main([str(clean)]) == 0
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nx = np.random.rand(2)\n")
+        assert main([str(bad)]) == 1
+        assert "R1" in capsys.readouterr().out
+        assert main([str(tmp_path / "missing_dir")]) == 2
+
+    def test_main_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        listing = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.code in listing
+
+    def test_repo_tree_is_clean(self):
+        # The acceptance criterion: the shipped tree carries zero
+        # violations (pragmas included, like any real lint gate).
+        from pathlib import Path
+        root = Path(__file__).resolve().parents[2]
+        targets = [str(root / d) for d in ("src", "tests", "benchmarks")]
+        assert check_paths(targets) == []

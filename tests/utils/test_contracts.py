@@ -1,0 +1,173 @@
+"""Runtime shape contracts (:mod:`repro.utils.contracts`)."""
+
+import numpy as np
+import pytest
+
+from repro.utils.contracts import (ShapeContractError, check_shapes,
+                                   debug_enabled, parse_spec)
+
+
+class TestParseSpec:
+    def test_args_and_return(self):
+        groups, ret = parse_spec("(n,m),(m,)->(n,)")
+        assert groups == [["n", "m"], ["m"]]
+        assert ret == ["n"]
+
+    def test_no_return_group(self):
+        groups, ret = parse_spec("(r,c)")
+        assert groups == [["r", "c"]]
+        assert ret is None
+
+    def test_literals_wildcards_and_skip(self):
+        groups, ret = parse_spec("(n,3),(_,m),_->(_,)")
+        assert groups == [["n", 3], ["_", "m"], None]
+        assert ret == ["_"]
+
+    def test_scalar_group(self):
+        groups, _ = parse_spec("()")
+        assert groups == [[]]
+
+    def test_leading_ellipsis(self):
+        groups, ret = parse_spec("(...,r)->(...,c)")
+        assert groups == [["...", "r"]]
+        assert ret == ["...", "c"]
+
+    def test_non_leading_ellipsis_rejected(self):
+        with pytest.raises(ValueError, match="leading"):
+            parse_spec("(r,...)")
+
+    def test_two_return_groups_rejected(self):
+        with pytest.raises(ValueError, match="return group"):
+            parse_spec("(n,)->(n,),(n,)")
+
+    def test_bad_token_rejected(self):
+        with pytest.raises(ValueError):
+            parse_spec("(n+1,)")
+
+
+class TestCheckShapes:
+    def test_matching_call_passes(self):
+        @check_shapes("(n,m),(m,)->(n,)", enabled=True)
+        def matvec(a, b):
+            return a @ b
+
+        out = matvec(np.ones((3, 4)), np.ones(4))
+        assert out.shape == (3,)
+
+    def test_dim_mismatch_raises(self):
+        @check_shapes("(n,m),(m,)", enabled=True)
+        def matvec(a, b):
+            return a @ b
+
+        with pytest.raises(ShapeContractError, match="already bound"):
+            matvec(np.ones((3, 4)), np.ones(5))
+
+    def test_rank_mismatch_raises(self):
+        @check_shapes("(n,m)", enabled=True)
+        def f(a):
+            return a
+
+        with pytest.raises(ShapeContractError, match="expected 2-D"):
+            f(np.ones(3))
+
+    def test_literal_dim_enforced(self):
+        @check_shapes("(n,3)", enabled=True)
+        def f(a):
+            return a
+
+        f(np.ones((5, 3)))
+        with pytest.raises(ShapeContractError, match="expected to be 3"):
+            f(np.ones((5, 4)))
+
+    def test_return_contract_enforced(self):
+        @check_shapes("(n,)->(n,)", enabled=True)
+        def bad(a):
+            return np.concatenate([a, a])
+
+        with pytest.raises(ShapeContractError, match="return value"):
+            bad(np.ones(2))
+
+    def test_ellipsis_absorbs_batch_dims(self):
+        @check_shapes("(...,r)->(...,c)", enabled=True)
+        def vmm(x):
+            return x @ np.ones((4, 2))
+
+        assert vmm(np.ones(4)).shape == (2,)
+        assert vmm(np.ones((7, 4))).shape == (7, 2)
+        assert vmm(np.ones((2, 5, 4))).shape == (2, 5, 2)
+
+    def test_ellipsis_still_checks_trailing_dim(self):
+        @check_shapes("(...,4)", enabled=True)
+        def f(x):
+            return x
+
+        with pytest.raises(ShapeContractError):
+            f(np.ones((3, 5)))
+
+    def test_skipped_argument_ignored(self):
+        @check_shapes("_,(n,)", enabled=True)
+        def f(config, a):
+            return a
+
+        f({"anything": 1}, np.ones(3))
+
+    def test_none_argument_skipped(self):
+        @check_shapes("(n,),(n,)", enabled=True)
+        def f(a, b=None):
+            return a
+
+        f(np.ones(3))  # b is None: its group is not checked
+
+    def test_self_is_skipped(self):
+        class C:
+            @check_shapes("(n,m)", enabled=True)
+            def f(self, a):
+                return a
+
+        C().f(np.ones((2, 2)))
+
+    def test_arg_names_subset(self):
+        @check_shapes("(n,)", arg_names=["b"], enabled=True)
+        def f(a, b):
+            return b
+
+        f("not-an-array", np.ones(3))
+        with pytest.raises(ShapeContractError):
+            f("not-an-array", np.ones((3, 3)))
+
+    def test_disabled_returns_function_unchanged(self):
+        def raw(a):
+            return a
+
+        decorated = check_shapes("(n,m)", enabled=False)(raw)
+        assert decorated is raw  # zero-cost: no wrapper at all
+        decorated(np.ones(3))    # and no checking either
+
+    def test_spec_validated_even_when_disabled(self):
+        with pytest.raises(ValueError):
+            check_shapes("(n,...)", enabled=False)
+
+    def test_env_controls_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEBUG", "1")
+        assert debug_enabled()
+
+        @check_shapes("(n,)")
+        def f(a):
+            return a
+
+        with pytest.raises(ShapeContractError):
+            f(np.ones((2, 2)))
+
+        monkeypatch.setenv("REPRO_DEBUG", "0")
+        assert not debug_enabled()
+
+        def raw(a):
+            return a
+
+        assert check_shapes("(n,)")(raw) is raw
+
+    def test_debug_enabled_truthy_spellings(self):
+        for value in ("1", "true", "YES", " on "):
+            assert debug_enabled(env=value)
+        for value in ("", "0", "false", "off", "junk"):
+            assert not debug_enabled(env=value)

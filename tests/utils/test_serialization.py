@@ -3,7 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.utils.serialization import load_arrays, load_metadata, save_arrays
+from repro.utils.serialization import (SerializationError, load_arrays,
+                                       load_metadata, normalize_archive_path,
+                                       save_arrays, sidecar_path)
+from repro.utils.rng import make_rng
 
 
 class TestSaveLoad:
@@ -28,11 +31,61 @@ class TestSaveLoad:
         save_arrays(str(tmp_path / "deep" / "nested" / "m"), {"x": np.ones(1)})
         assert (tmp_path / "deep" / "nested" / "m.npz").exists()
 
+    def test_roundtrip_with_explicit_npz_suffix(self, tmp_path, rng):
+        arrays = {"a": rng.normal(size=(2, 2))}
+        save_arrays(str(tmp_path / "state.npz"), arrays)
+        assert (tmp_path / "state.npz").exists()
+        assert not (tmp_path / "state.npz.npz").exists()
+        loaded = load_arrays(str(tmp_path / "state.npz"))
+        np.testing.assert_array_equal(loaded["a"], arrays["a"])
+
+    def test_load_without_suffix_finds_saved_file(self, tmp_path):
+        # The historical failure mode: np.savez appends ".npz" on save
+        # but np.load does not on load, so a suffix-less path round-trip
+        # broke. Both sides must normalise identically.
+        save_arrays(str(tmp_path / "run"), {"x": np.arange(3)})
+        loaded = load_arrays(str(tmp_path / "run"))
+        np.testing.assert_array_equal(loaded["x"], np.arange(3))
+
+    def test_dotted_stem_is_not_truncated(self, tmp_path):
+        # Path.with_suffix would corrupt "run-dva0.5" into "run-dva0.npz";
+        # the helpers must append instead.
+        save_arrays(str(tmp_path / "run-dva0.5"), {"x": np.ones(1)})
+        assert (tmp_path / "run-dva0.5.npz").exists()
+        loaded = load_arrays(str(tmp_path / "run-dva0.5"))
+        np.testing.assert_array_equal(loaded["x"], np.ones(1))
+
+    def test_corrupt_archive_raises_serialization_error(self, tmp_path):
+        bad = tmp_path / "broken.npz"
+        bad.write_bytes(b"PK\x03\x04 truncated garbage")
+        with pytest.raises(SerializationError, match="delete it"):
+            load_arrays(str(bad))
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_arrays(str(tmp_path / "nope"))
+
+    def test_normalize_archive_path(self, tmp_path):
+        assert normalize_archive_path(tmp_path / "a") == tmp_path / "a.npz"
+        assert (normalize_archive_path(tmp_path / "a.npz")
+                == tmp_path / "a.npz")
+        assert (normalize_archive_path(tmp_path / "a.b")
+                == tmp_path / "a.b.npz")
+
+    def test_sidecar_path(self, tmp_path):
+        assert sidecar_path(tmp_path / "a") == tmp_path / "a.json"
+        assert sidecar_path(tmp_path / "a.npz") == tmp_path / "a.json"
+
+    def test_metadata_accepts_json_path(self, tmp_path):
+        save_arrays(str(tmp_path / "m"), {"x": np.ones(1)},
+                    metadata={"tag": "v1"})
+        assert load_metadata(str(tmp_path / "m.json"))["tag"] == "v1"
+
     def test_model_state_roundtrip(self, tmp_path, trained_tiny_mlp):
         from tests.conftest import TinyMLP
         path = tmp_path / "mlp"
         save_arrays(str(path), trained_tiny_mlp.state_dict())
-        fresh = TinyMLP(rng=np.random.default_rng(99))
+        fresh = TinyMLP(rng=make_rng(99))
         fresh.load_state_dict(load_arrays(str(path)))
         for (_, a), (_, b) in zip(trained_tiny_mlp.named_parameters(),
                                   fresh.named_parameters()):

@@ -9,12 +9,13 @@ from repro.device.lut import DeviceModel
 from repro.device.variation import VariationModel
 from repro.xbar.adc import ADC
 from repro.xbar.engine import CrossbarEngine
+from repro.utils.rng import make_rng
 
 
 def make_engine(rows=16, cols=3, m=8, cell=SLC, sigma=0.5, seed=0,
                 registers=None, complement=None, adc=None,
                 input_scale=1 / 255, weight_scale=0.01, zero_point=128):
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     device = DeviceModel(cell, VariationModel(sigma), n_bits=8)
     plan = OffsetPlan(rows, cols, m)
     values = rng.integers(0, 256, size=(rows, cols))
@@ -36,7 +37,7 @@ class TestEquivalence:
     @pytest.mark.parametrize("m", [4, 8, 16])
     def test_matches_effective_weights(self, cell, m):
         engine = make_engine(cell=cell, m=m, seed=1)
-        rng = np.random.default_rng(2)
+        rng = make_rng(2)
         x = rng.uniform(0, 1, size=(5, 16))
         got = engine.forward(x)
         xq = engine.quantize_inputs(x) * engine.input_scale
@@ -44,7 +45,7 @@ class TestEquivalence:
         np.testing.assert_allclose(got, expected, rtol=1e-9, atol=1e-9)
 
     def test_with_offsets(self):
-        rng = np.random.default_rng(3)
+        rng = make_rng(3)
         regs = rng.integers(-50, 50, size=(2, 3)).astype(float)
         engine = make_engine(registers=regs, seed=4)
         x = rng.uniform(0, 1, size=(4, 16))
@@ -54,7 +55,7 @@ class TestEquivalence:
                                    rtol=1e-9, atol=1e-9)
 
     def test_with_complement_groups(self):
-        rng = np.random.default_rng(5)
+        rng = make_rng(5)
         comp = rng.random((2, 3)) > 0.5
         regs = rng.integers(-20, 20, size=(2, 3)).astype(float)
         engine = make_engine(registers=regs, complement=comp, seed=6)
@@ -66,7 +67,7 @@ class TestEquivalence:
 
     def test_partial_last_group(self):
         engine = make_engine(rows=13, m=8, seed=7)
-        x = np.random.default_rng(8).uniform(0, 1, size=(3, 13))
+        x = make_rng(8).uniform(0, 1, size=(3, 13))
         xq = engine.quantize_inputs(x) * engine.input_scale
         np.testing.assert_allclose(engine.forward(x),
                                    xq @ engine.effective_weights(),
@@ -85,7 +86,7 @@ class TestOffsetPath:
             weight_scale=base.weight_scale,
             weight_zero_point=base.weight_zero_point,
             input_scale=base.input_scale)
-        x = np.random.default_rng(10).uniform(0, 1, size=(2, 16))
+        x = make_rng(10).uniform(0, 1, size=(2, 16))
         xq = base.quantize_inputs(x).astype(float)
         delta = shifted.forward(x) - base.forward(x)
         expected = np.zeros_like(delta)
@@ -104,7 +105,7 @@ class TestADCEffects:
             weight_scale=a.weight_scale,
             weight_zero_point=a.weight_zero_point,
             input_scale=a.input_scale, adc=coarse)
-        x = np.random.default_rng(12).uniform(0, 1, size=(2, 16))
+        x = make_rng(12).uniform(0, 1, size=(2, 16))
         assert not np.allclose(a.forward(x), b.forward(x))
 
     def test_high_resolution_adc_near_ideal(self):
@@ -116,7 +117,7 @@ class TestADCEffects:
             weight_scale=a.weight_scale,
             weight_zero_point=a.weight_zero_point,
             input_scale=a.input_scale, adc=fine)
-        x = np.random.default_rng(14).uniform(0, 1, size=(2, 16))
+        x = make_rng(14).uniform(0, 1, size=(2, 16))
         np.testing.assert_allclose(a.forward(x), b.forward(x), rtol=0.05,
                                    atol=0.05)
 

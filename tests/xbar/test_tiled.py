@@ -10,10 +10,11 @@ from repro.device.variation import VariationModel
 from repro.xbar.engine import CrossbarEngine
 from repro.xbar.mapper import CrossbarMapper
 from repro.xbar.tiled import TiledCrossbarEngine
+from repro.utils.rng import make_rng
 
 
 def build(rows=300, cols=40, m=16, cell=MLC2, xbar_size=128, seed=0):
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     device = DeviceModel(cell, VariationModel(0.4), n_bits=8)
     plan = OffsetPlan(rows, cols, m)
     values = rng.integers(0, 256, size=(rows, cols))

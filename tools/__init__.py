@@ -1,0 +1,1 @@
+"""Developer tooling for the reproduction repo (not shipped with repro)."""

@@ -1,0 +1,32 @@
+"""repro-lint: custom static analysis for the simulation stack.
+
+Five AST-based rules encode the invariants the numpy-heavy pipeline
+(device variation -> VAWO/PWT offsets -> crossbar eval) depends on —
+the mistakes that corrupt accuracy numbers without crashing:
+
+======  ==============================================================
+R1      No direct ``np.random.*`` / ``default_rng()`` calls outside
+        ``repro/utils/rng.py`` — all randomness flows through the
+        seedable ``make_rng`` / ``spawn_rngs`` utilities.
+R2      No mutable default arguments.
+R3      Public functions in ``repro/core``, ``repro/device`` and
+        ``repro/xbar`` carry complete type annotations and a docstring
+        that documents array shapes.
+R4      No silent dtype narrowing of weight/conductance arrays
+        (``np.asarray(w, dtype=np.float32)``) without ``# dtype-ok``.
+R5      ``np.savez`` / ``np.load`` paths must show an explicit ``.npz``
+        suffix (or ``# npz-ok``) — the save/load suffix-mismatch class
+        of bug that broke the seed's tier-1 run.
+======  ==============================================================
+
+Run it as ``python -m tools.lint src/ tests/ benchmarks/``. Suppress a
+single line with ``# repro-lint: disable=R1`` (or ``disable`` for all
+rules), a whole file with ``# repro-lint: disable-file=R3``.
+"""
+
+from tools.lint.report import Violation
+from tools.lint.rules import ALL_RULES, Rule
+from tools.lint.runner import check_file, check_paths, check_source, main
+
+__all__ = ["ALL_RULES", "Rule", "Violation", "check_file", "check_paths",
+           "check_source", "main"]

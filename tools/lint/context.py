@@ -1,0 +1,118 @@
+"""Per-file analysis context: source, pragmas and import resolution."""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Set
+
+_DISABLE_LINE_RE = re.compile(
+    r"#\s*repro-lint:\s*disable(?:=(?P<codes>[A-Z0-9, ]+))?")
+_DISABLE_FILE_RE = re.compile(
+    r"#\s*repro-lint:\s*disable-file(?:=(?P<codes>[A-Z0-9, ]+))?")
+
+
+def _parse_codes(raw: Optional[str]) -> Optional[Set[str]]:
+    """``None`` means "all rules"; otherwise the explicit code set."""
+    if raw is None:
+        return None
+    return {c.strip() for c in raw.split(",") if c.strip()}
+
+
+class FileContext:
+    """Everything the rules need to know about one source file."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path.replace("\\", "/")
+        self.source = source
+        self.tree = tree
+        self.lines: List[str] = source.splitlines()
+        self.aliases: Dict[str, str] = _collect_import_aliases(tree)
+        self._line_disables: Dict[int, Optional[Set[str]]] = {}
+        self._file_disables: Set[str] = set()
+        self._file_disable_all = False
+        self._scan_pragmas()
+
+    # ------------------------------------------------------------------
+    # pragmas
+    # ------------------------------------------------------------------
+    def _scan_pragmas(self) -> None:
+        for lineno, line in enumerate(self.lines, start=1):
+            if "repro-lint" not in line:
+                continue
+            m = _DISABLE_FILE_RE.search(line)
+            if m:
+                codes = _parse_codes(m.group("codes"))
+                if codes is None:
+                    self._file_disable_all = True
+                else:
+                    self._file_disables |= codes
+                continue
+            m = _DISABLE_LINE_RE.search(line)
+            if m:
+                self._line_disables[lineno] = _parse_codes(m.group("codes"))
+
+    def is_disabled(self, code: str, lineno: int,
+                    end_lineno: Optional[int] = None) -> bool:
+        """Whether ``code`` is suppressed at ``lineno`` (or its span)."""
+        if self._file_disable_all or code in self._file_disables:
+            return True
+        last = end_lineno if end_lineno is not None else lineno
+        for ln in range(lineno, last + 1):
+            codes = self._line_disables.get(ln, False)
+            if codes is False:
+                continue
+            if codes is None or code in codes:
+                return True
+        return False
+
+    def span_has_marker(self, marker: str, lineno: int,
+                        end_lineno: Optional[int] = None) -> bool:
+        """Whether a ``# marker`` comment appears on any line of a span."""
+        last = end_lineno if end_lineno is not None else lineno
+        for ln in range(lineno, min(last, len(self.lines)) + 1):
+            if marker in self.lines[ln - 1]:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # name resolution
+    # ------------------------------------------------------------------
+    def resolve_call_name(self, func: ast.expr) -> Optional[str]:
+        """Fully-qualified dotted name of a call target, if resolvable.
+
+        ``np.random.normal`` resolves to ``numpy.random.normal`` when
+        the file did ``import numpy as np``; a bare ``default_rng``
+        resolves through ``from numpy.random import default_rng``.
+        """
+        parts: List[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        parts.reverse()
+        head = self.aliases.get(parts[0])
+        if head is not None:
+            parts[0] = head
+        return ".".join(parts)
+
+
+def _collect_import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the fully-qualified names they import."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                local = item.asname or item.name.split(".")[0]
+                target = item.name if item.asname else item.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                local = item.asname or item.name
+                aliases[local] = f"{node.module}.{item.name}"
+    return aliases

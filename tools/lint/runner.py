@@ -1,0 +1,124 @@
+"""File collection, rule execution and the command-line front end."""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from tools.lint.context import FileContext
+from tools.lint.report import Violation
+from tools.lint.rules import ALL_RULES, Rule
+
+_SKIP_DIR_NAMES = {"__pycache__", ".git", ".cache", ".mypy_cache",
+                   ".ruff_cache", ".pytest_cache", "build", "dist"}
+
+
+def collect_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for sub in sorted(p.rglob("*.py")):
+                if not any(part in _SKIP_DIR_NAMES for part in sub.parts):
+                    out.append(sub)
+        elif p.suffix == ".py":
+            out.append(p)
+        elif not p.exists():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    return out
+
+
+def _select_rules(select: Optional[Sequence[str]]) -> List[Rule]:
+    if not select:
+        return list(ALL_RULES)
+    wanted = {s.strip().upper() for s in select}
+    unknown = wanted - {r.code for r in ALL_RULES}
+    if unknown:
+        raise ValueError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+    return [r for r in ALL_RULES if r.code in wanted]
+
+
+def check_source(source: str, path: str = "<string>",
+                 select: Optional[Sequence[str]] = None) -> List[Violation]:
+    """Lint a source string; the programmatic API the tests drive."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [Violation(path=path, line=exc.lineno or 1,
+                          col=(exc.offset or 0) + 1, code="E999",
+                          message=f"syntax error: {exc.msg}")]
+    ctx = FileContext(path, source, tree)
+    violations: List[Violation] = []
+    for rule in _select_rules(select):
+        violations.extend(rule.run(ctx))
+    return sorted(violations, key=Violation.sort_key)
+
+
+def check_file(path: Path,
+               select: Optional[Sequence[str]] = None) -> List[Violation]:
+    """Lint one file from disk."""
+    source = Path(path).read_text(encoding="utf-8")
+    return check_source(source, str(path), select=select)
+
+
+def check_paths(paths: Sequence[str],
+                select: Optional[Sequence[str]] = None) -> List[Violation]:
+    """Lint every ``.py`` file reachable from ``paths``."""
+    violations: List[Violation] = []
+    for file_path in collect_files(paths):
+        violations.extend(check_file(file_path, select=select))
+    return violations
+
+
+def _print_rule_listing(out) -> None:
+    for rule in ALL_RULES:
+        print(f"{rule.code}  {rule.name}", file=out)
+        print(f"    {rule.description}", file=out)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m tools.lint``."""
+    parser = argparse.ArgumentParser(
+        prog="tools.lint",
+        description="repro-lint: project-specific static analysis "
+                    "(rules R1-R5; see tools/lint/__init__.py)")
+    parser.add_argument("paths", nargs="*", default=["src", "tests",
+                                                     "benchmarks"],
+                        help="files or directories to lint "
+                             "(default: src tests benchmarks)")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule codes to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="describe every rule and exit")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress the summary line")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _print_rule_listing(sys.stdout)
+        return 0
+
+    select = args.select.split(",") if args.select else None
+    try:
+        files = collect_files(args.paths)
+        violations: List[Violation] = []
+        for file_path in files:
+            violations.extend(check_file(file_path, select=select))
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"tools.lint: {exc}", file=sys.stderr)
+        return 2
+
+    violations.sort(key=Violation.sort_key)
+    for violation in violations:
+        print(violation.render())
+    if not args.quiet:
+        status = "clean" if not violations else "found issues"
+        print(f"repro-lint: {len(files)} files checked, "
+              f"{len(violations)} violation(s) — {status}",
+              file=sys.stderr)
+    return 1 if violations else 0
