@@ -2,7 +2,12 @@
 
 Every bench regenerates one paper artifact (a table or figure), prints
 a paper-vs-measured report, and writes it under ``benchmarks/results/``
-so EXPERIMENTS.md can be assembled from the files.
+so EXPERIMENTS.md can be assembled from the files. Each report now also
+emits a machine-readable ``<name>.json`` sidecar (preset, trials,
+elapsed wall-time, the report lines, structured measured numbers when
+the bench provides them, and the obs metrics snapshot when recording is
+on) so result trajectories can be tracked across commits without
+parsing fixed-width text.
 
 The ``REPRO_BENCH_PRESET`` environment variable selects the workload
 scale: ``quick`` (default — minutes, the sizes CI runs) or ``full``
@@ -11,10 +16,17 @@ scale: ``quick`` (default — minutes, the sizes CI runs) or ``full``
 
 from __future__ import annotations
 
+import dataclasses
 import os
+import time
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+_T0 = time.perf_counter()
+
+#: Sidecar schema version — bump when the JSON layout changes.
+SIDECAR_SCHEMA = "repro.bench.sidecar/v1"
 
 
 def preset() -> str:
@@ -33,11 +45,45 @@ def trials() -> int:
     return 5 if preset() == "full" else 1
 
 
-def report(name: str, lines) -> str:
-    """Print a report and persist it to benchmarks/results/<name>.txt."""
+def _jsonable(value):
+    """Coerce dataclasses (rows) and mappings into JSON-able structures."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return dataclasses.asdict(value)
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def report(name: str, lines, data=None) -> str:
+    """Print a report; persist ``<name>.txt`` and a ``<name>.json`` sidecar.
+
+    ``data`` (optional) is the bench's structured measured numbers —
+    a list of row dataclasses/dicts or a mapping; it lands in the
+    sidecar unchanged (dataclasses converted to dicts) so downstream
+    tooling never has to parse the fixed-width text.
+    """
+    from repro.obs import enabled as obs_enabled
+    from repro.obs import metrics as obs_metrics
+    from repro.utils.serialization import save_json
+
     text = "\n".join(lines) if not isinstance(lines, str) else lines
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    sidecar = {
+        "schema": SIDECAR_SCHEMA,
+        "name": name,
+        "preset": preset(),
+        "trials": trials(),
+        "elapsed_s": time.perf_counter() - _T0,
+        "created_unix": time.time(),
+        "lines": text.splitlines(),
+        "data": _jsonable(data) if data is not None else None,
+        "metrics": (obs_metrics.REGISTRY.snapshot()
+                    if obs_enabled() else None),
+    }
+    save_json(RESULTS_DIR / f"{name}.json", sidecar)
     print(f"\n{text}")
     return text
 

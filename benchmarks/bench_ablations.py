@@ -70,9 +70,10 @@ def run():
     lines += [f"  tol={t:<4}              {fmt_pct(a)}"
               for t, a in tols.items()]
 
-    report("ablations", lines)
-    return dict(analytic=analytic, mc_small=mc_small, mc_large=mc_large,
-                widths=widths, no_comp=no_comp, comp=comp, tols=tols)
+    out = dict(analytic=analytic, mc_small=mc_small, mc_large=mc_large,
+               widths=widths, no_comp=no_comp, comp=comp, tols=tols)
+    report("ablations", lines, data=out)
+    return out
 
 
 def test_ablations(benchmark):
@@ -119,7 +120,7 @@ def test_adc_resolution_ablation(benchmark):
         lines = ["ADC resolution (bit-accurate engine, relative error "
                  "vs ideal readout):"]
         lines += [f"  {b:>2}-bit ADC  {e:8.4f}" for b, e in errs.items()]
-        report("ablation_adc", lines)
+        report("ablation_adc", lines, data=errs)
         return errs
 
     errs = benchmark.pedantic(run_adc, rounds=1, iterations=1)

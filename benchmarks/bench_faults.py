@@ -33,7 +33,10 @@ def run():
         lines.append(f"{saf[0]:.2f}/{saf[1]:.2f}      "
                      f"{fmt_pct(grid[(saf, 'plain')]):>9}"
                      f"{fmt_pct(grid[(saf, 'vawo*+pwt')]):>11}")
-    report("faults", lines)
+    report("faults", lines,
+           data=[{"sa0": saf[0], "sa1": saf[1], "method": method,
+                  "mean_accuracy": acc}
+                 for (saf, method), acc in grid.items()])
     return grid
 
 

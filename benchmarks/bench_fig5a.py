@@ -37,7 +37,7 @@ def run():
                      f"{fmt_pct(r.mean_accuracy):>9}{paper_s:>9}")
     lines.append(f"{'ideal':<12}{'':>5}{fmt_pct(rows[0].ideal_accuracy):>9}"
                  f"{fmt_pct(PAPER_IDEAL):>9}")
-    report("fig5a", lines)
+    report("fig5a", lines, data=rows)
     return rows
 
 

@@ -29,7 +29,7 @@ def run():
         paper_s = fmt_pct(paper) if paper is not None else "      -"
         lines.append(f"{r.sigma:>6.1f}{r.granularity:>5}"
                      f"{fmt_pct(r.mean_accuracy):>9}{paper_s:>9}")
-    report("fig5c", lines)
+    report("fig5c", lines, data=rows)
     return rows
 
 

@@ -48,7 +48,9 @@ def run_combination():
     for t in ("standard", "dva"):
         lines.append(f"{t:<10}{fmt_pct(grid[(t, 'plain')]):>9}"
                      f"{fmt_pct(grid[(t, 'vawo*+pwt')]):>11}")
-    report("future_work_dva", lines)
+    report("future_work_dva", lines,
+           data=[{"training": t, "method": m, "mean_accuracy": acc}
+                 for (t, m), acc in grid.items()])
     return grid
 
 
@@ -82,7 +84,7 @@ def run_bn_recalibration():
              f"sigma={sigma})",
              f"without recalibration {fmt_pct(rows['without'])}",
              f"with recalibration    {fmt_pct(rows['with'])}"]
-    report("future_work_bnrecal", lines)
+    report("future_work_bnrecal", lines, data=rows)
     return rows
 
 

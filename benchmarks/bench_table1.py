@@ -24,7 +24,7 @@ def run():
         for m, value in per_m.items():
             lines.append(f"{name:<12}{m:>5}{fmt_pct(value):>9}"
                          f"{fmt_pct(PAPER[(name, m)]):>9}")
-    report("table1", lines)
+    report("table1", lines, data=results)
     return results
 
 

@@ -29,7 +29,7 @@ def run():
                      f"{p['power']:>8.2f}")
     lines.append(f"Sum+Multi fits the 100 ns pipeline cycle: "
                  f"{all(sum_multiply_latency_ok(m) for m in (16, 64, 128))}")
-    report("table2", lines)
+    report("table2", lines, data=rows)
     return rows
 
 

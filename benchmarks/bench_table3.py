@@ -30,7 +30,7 @@ def run():
         lines.append(f"{r.method:<12}{r.sigma:>6.1f}"
                      f"{fmt_pct(r.accuracy_loss):>9}{fmt_pct(p['loss']):>9}"
                      f"{r.crossbar_number:>7.1f}{p['xbars']:>7.1f}")
-    report("table3", lines)
+    report("table3", lines, data=rows)
     return rows
 
 

@@ -12,6 +12,9 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== repro-lint =="
 python -m tools.lint src tests benchmarks
 
+echo "== repro-lint R6 gate (no print in library) =="
+python -m tools.lint --select R6 src
+
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff =="
     ruff check src tests benchmarks tools

@@ -6,22 +6,47 @@ Usage (after ``pip install -e .``):
 
     python -m repro train --workload lenet --preset quick
     python -m repro deploy --workload lenet --method "vawo*+pwt" \
-        --sigma 0.5 --granularity 16 --trials 5
+        --sigma 0.5 --granularity 16 --trials 5 --profile
     python -m repro experiment --name fig5a
+    python -m repro obs summarize obs/deploy-manifest.json
     python -m repro overhead --granularity 16 128
     python -m repro info
 
 Workloads are trained once and cached (``.cache/repro``), so repeated
 deploy/experiment invocations are fast.
+
+``--profile`` (on ``train``/``deploy``/``experiment``) enables the
+observability layer for the run and writes a spans JSONL plus a
+structured run manifest under ``--obs-dir`` (default ``obs/``);
+``repro obs summarize <manifest.json>`` renders them as per-stage
+time/metric tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from repro import __version__
+
+
+def _echo(message: str = "") -> None:
+    """User-facing CLI output (stdout) — the one place it is emitted.
+
+    The library itself must never ``print`` (lint rule R6): modules log
+    through ``repro.utils.logging`` and report numbers through the obs
+    exporters; only this front end talks to the terminal.
+    """
+    sys.stdout.write(message + "\n")
+
+
+def _add_profile_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--profile", action="store_true",
+                   help="record spans/metrics and write a run manifest")
+    p.add_argument("--obs-dir", default="obs",
+                   help="directory for --profile artifacts (default: obs/)")
 
 
 def _add_train(sub: argparse._SubParsersAction) -> None:
@@ -32,6 +57,7 @@ def _add_train(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--dva-sigma", type=float, default=None,
                    help="train with DVA variation injection at this sigma")
+    _add_profile_args(p)
 
 
 def _add_deploy(sub: argparse._SubParsersAction) -> None:
@@ -50,6 +76,7 @@ def _add_deploy(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--saf", type=float, nargs=2, metavar=("SA0", "SA1"),
                    default=None, help="stuck-at fault rates")
+    _add_profile_args(p)
 
 
 def _add_experiment(sub: argparse._SubParsersAction) -> None:
@@ -59,6 +86,7 @@ def _add_experiment(sub: argparse._SubParsersAction) -> None:
                             "table3"])
     p.add_argument("--preset", default="quick", choices=["quick", "full"])
     p.add_argument("--trials", type=int, default=2)
+    _add_profile_args(p)
 
 
 def _add_overhead(sub: argparse._SubParsersAction) -> None:
@@ -68,14 +96,60 @@ def _add_overhead(sub: argparse._SubParsersAction) -> None:
                    default=[16, 128])
 
 
-def _cmd_train(args) -> int:
+def _add_obs(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("obs", help="inspect observability artifacts")
+    p.add_argument("action", choices=["summarize"],
+                   help="summarize: render a run manifest as tables")
+    p.add_argument("manifest", help="path to a <run>-manifest.json")
+
+
+# ----------------------------------------------------------------------
+# profiling plumbing
+# ----------------------------------------------------------------------
+def _profile_begin(args: argparse.Namespace) -> bool:
+    """Enable the obs layer for a ``--profile`` run.
+
+    Sets ``REPRO_OBS`` *before* the heavy modules are imported (the
+    command handlers import lazily), so decorator-form spans on the hot
+    kernels activate too, then turns the dynamic switch on.
+    """
+    if not getattr(args, "profile", False):
+        return False
+    os.environ.setdefault("REPRO_OBS", "1")
+    import repro.obs as obs
+    args._obs_was_active = obs.enabled()
+    obs.enable()
+    obs.reset()
+    return True
+
+
+def _profile_end(args: argparse.Namespace, command: str,
+                 extra: Optional[dict] = None) -> None:
+    """Export manifest + spans for a ``--profile`` run and say where."""
+    import repro.obs as obs
+
+    paths = obs.export_run(
+        args.obs_dir, command, argv=sys.argv[1:],
+        preset=getattr(args, "preset", None),
+        seed=getattr(args, "seed", None), extra=extra, stem=command,
+        reset=True)
+    if not getattr(args, "_obs_was_active", False):
+        obs.disable()           # leave the process as --profile found it
+    _echo(f"obs:       manifest {paths['manifest']}  spans {paths['spans']}")
+
+
+# ----------------------------------------------------------------------
+# command handlers
+# ----------------------------------------------------------------------
+def _cmd_train(args: argparse.Namespace) -> int:
+    profiling = _profile_begin(args)
     from repro.eval.experiments import build_workload
 
     override = None
     if args.dva_sigma is not None:
         from repro.baselines.dva import DVAConfig, train_dva
 
-        def override(model, data, spec, rng):
+        def override(model: Any, data: Any, spec: Any, rng: Any) -> None:
             cfg = DVAConfig(sigma=args.dva_sigma, epochs=spec.epochs,
                             batch_size=spec.batch_size, lr=spec.lr)
             train_dva(model, data, cfg, rng=rng)
@@ -83,12 +157,17 @@ def _cmd_train(args) -> int:
 
     wl = build_workload(args.workload, args.preset, args.seed,
                         train_override=override)
-    print(f"{args.workload} ({args.preset}, seed {args.seed}): "
+    _echo(f"{args.workload} ({args.preset}, seed {args.seed}): "
           f"float accuracy {wl.float_accuracy:.2%}")
+    if profiling:
+        _profile_end(args, "train",
+                     extra={"workload": args.workload,
+                            "float_accuracy": wl.float_accuracy})
     return 0
 
 
-def _cmd_deploy(args) -> int:
+def _cmd_deploy(args: argparse.Namespace) -> int:
+    profiling = _profile_begin(args)
     from repro.core import DeployConfig, Deployer
     from repro.device.cell import MLC2, SLC
     from repro.eval import evaluate_deployment, ideal_accuracy
@@ -104,18 +183,32 @@ def _cmd_deploy(args) -> int:
     ideal = ideal_accuracy(deployer, wl.test)
     result = evaluate_deployment(deployer, wl.test, n_trials=args.trials,
                                  rng=args.seed + 20)
-    print(f"workload:  {args.workload} (float {wl.float_accuracy:.2%}, "
+    _echo(f"workload:  {args.workload} (float {wl.float_accuracy:.2%}, "
           f"ideal quantized {ideal:.2%})")
-    print(f"method:    {args.method}  sigma={args.sigma}  "
+    _echo(f"method:    {args.method}  sigma={args.sigma}  "
           f"m={args.granularity}  cell={args.cell_bits}-bit")
-    print(f"deployed:  {result}")
-    print(f"registers: {deployer.total_registers()}   "
+    _echo(f"deployed:  {result}")
+    _echo(f"registers: {deployer.total_registers()}   "
           f"crossbars: {deployer.crossbar_count()}")
+    if profiling:
+        _profile_end(args, "deploy",
+                     extra={"workload": args.workload, "method": args.method,
+                            "sigma": args.sigma,
+                            "granularity": args.granularity,
+                            "mean_accuracy": result.mean,
+                            "ideal_accuracy": ideal})
     return 0
 
 
-def _cmd_experiment(args) -> int:
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    profiling = _profile_begin(args)
     from repro.eval import experiments as ex
+
+    def finish(code: int = 0) -> int:
+        if profiling:
+            _profile_end(args, f"experiment-{args.name}",
+                         extra={"experiment": args.name})
+        return code
 
     if args.name == "fig5a":
         rows = ex.run_fig5_accuracy("lenet", args.preset,
@@ -128,44 +221,57 @@ def _cmd_experiment(args) -> int:
     elif args.name == "table1":
         for wl, per_m in ex.run_table1(args.preset).items():
             for m, v in per_m.items():
-                print(f"{wl:<10} m={m:<4} relative reading power {v:.2%}")
-        return 0
+                _echo(f"{wl:<10} m={m:<4} relative reading power {v:.2%}")
+        return finish()
     elif args.name == "table2":
         for row in ex.run_table2():
-            print(f"m={row['granularity']:<4} area {row['total_area_mm2']:.3f} mm^2 "
+            _echo(f"m={row['granularity']:<4} area {row['total_area_mm2']:.3f} mm^2 "
                   f"({row['area_overhead']:.1%})  power "
                   f"{row['total_power_mw']:.2f} mW ({row['power_overhead']:.1%})")
-        return 0
+        return finish()
     else:
         for row in ex.run_table3(args.preset, n_trials=args.trials):
-            print(f"{row.method:<10} sigma={row.sigma} "
+            _echo(f"{row.method:<10} sigma={row.sigma} "
                   f"loss {row.accuracy_loss:.2%} "
                   f"crossbars {row.crossbar_number}")
-        return 0
+        return finish()
     for r in rows:
-        print(f"{r.method:<10} m={r.granularity:<4} sigma={r.sigma} "
+        _echo(f"{r.method:<10} m={r.granularity:<4} sigma={r.sigma} "
               f"acc {r.mean_accuracy:.2%} (ideal {r.ideal_accuracy:.2%})")
-    return 0
+    return finish()
 
 
-def _cmd_overhead(args) -> int:
+def _cmd_overhead(args: argparse.Namespace) -> int:
     from repro.arch import tile_overhead
 
     for m in args.granularity:
         o = tile_overhead(m)
-        print(f"m={m:<4} area {o.total_area_mm2:.3f} mm^2 "
+        _echo(f"m={m:<4} area {o.total_area_mm2:.3f} mm^2 "
               f"({o.area_overhead_fraction:.1%})  power "
               f"{o.total_power_mw:.2f} mW ({o.power_overhead_fraction:.1%})")
     return 0
 
 
-def _cmd_info(_args) -> int:
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.summary import summarize_file
+
+    try:
+        _echo(summarize_file(args.manifest))
+    except FileNotFoundError:
+        _echo(f"repro obs: no such manifest: {args.manifest}")
+        return 2
+    return 0
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
     import numpy
     import scipy
-    print(f"repro {__version__} — DATE 2021 digital-offset reproduction")
-    print(f"numpy {numpy.__version__}, scipy {scipy.__version__}")
-    print("workloads: lenet, resnet18 (slim), vgg16 (slim)")
-    print("methods:   plain, vawo, vawo*, pwt, vawo*+pwt")
+    _echo(f"repro {__version__} — DATE 2021 digital-offset reproduction")
+    _echo(f"numpy {numpy.__version__}, scipy {scipy.__version__}")
+    _echo("workloads: lenet, resnet18 (slim), vgg16 (slim)")
+    _echo("methods:   plain, vawo, vawo*, pwt, vawo*+pwt")
+    _echo("observability: REPRO_OBS=1 / --profile, REPRO_LOG_LEVEL, "
+          "repro obs summarize")
     return 0
 
 
@@ -181,6 +287,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_deploy(sub)
     _add_experiment(sub)
     _add_overhead(sub)
+    _add_obs(sub)
     sub.add_parser("info", help="library and environment information")
 
     args = parser.parse_args(argv)
@@ -189,6 +296,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "deploy": _cmd_deploy,
         "experiment": _cmd_experiment,
         "overhead": _cmd_overhead,
+        "obs": _cmd_obs,
         "info": _cmd_info,
     }
     return handlers[args.command](args)

@@ -42,6 +42,8 @@ from repro.nn import functional as F
 from repro.nn.layers import Conv2d, Linear, Sequential
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.quant.bitslice import slice_weights
 from repro.quant.quantizer import AffineQuantizer, InputQuantizer
 from repro.utils.logging import get_logger
@@ -218,12 +220,18 @@ class Deployer:
                                                 rng=derive_seed(self._rng))
         else:
             self.programmer = self.device
-        self.lut = self._build_lut()
-        self.layers: List[LayerPrep] = self._prepare_layers()
-        self._calibrate_inputs()
+        with span("deploy.lut", source=config.lut_source):
+            self.lut = self._build_lut()
+        with span("deploy.quantize"):
+            self.layers: List[LayerPrep] = self._prepare_layers()
+        with span("deploy.calibrate"):
+            self._calibrate_inputs()
         if config.use_vawo:
-            self._estimate_gradients()
-        self._assign_targets()
+            with span("deploy.gradients", batches=config.grad_batches):
+                self._estimate_gradients()
+        with span("deploy.vawo", layers=len(self.layers),
+                  method=config.method_name):
+            self._assign_targets()
 
     # ------------------------------------------------------------------
     # preparation stages
@@ -373,14 +381,18 @@ class Deployer:
         after writing — pass ``run_pwt_tuning=False`` to skip it.
         """
         rng = make_rng(rng if rng is not None else derive_seed(self._rng))
-        cells = [self.programmer.program_cells(prep.assignment.ctw, rng)
-                 for prep in self.layers]
-        deployed = self._build_deployed(cells)
+        with span("deploy.program", layers=len(self.layers)):
+            cells = [self.programmer.program_cells(prep.assignment.ctw, rng)
+                     for prep in self.layers]
+            deployed = self._build_deployed(cells)
+        obs_metrics.inc("deploy.programming_cycles")
         if self.config.bn_recalibrate:
-            recalibrate_batchnorm(deployed, self.train_data, rng=rng)
+            with span("deploy.bn_recalibrate"):
+                recalibrate_batchnorm(deployed, self.train_data, rng=rng)
         do_pwt = self.config.use_pwt if run_pwt_tuning is None else run_pwt_tuning
         if do_pwt:
-            run_pwt(deployed, self.train_data, self.config.pwt, rng)
+            with span("deploy.pwt"):
+                run_pwt(deployed, self.train_data, self.config.pwt, rng)
         return deployed
 
     def ideal_model(self) -> Module:

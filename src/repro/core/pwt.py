@@ -25,6 +25,8 @@ from repro.nn import functional as F
 from repro.nn.module import Module, Parameter
 from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.utils.contracts import check_shapes
 from repro.utils.logging import get_logger
 from repro.utils.rng import RngLike, make_rng
@@ -159,18 +161,26 @@ def run_pwt(model: Module, train_data: Dataset,
     optimizer = Adam(params, lr=config.lr)
     history = PWTHistory()
     for epoch in range(config.epochs):
-        for batch_idx, (images, labels) in enumerate(
-                iterate_batches(train_data, config.batch_size, rng=rng)):
-            if (config.max_batches_per_epoch is not None
-                    and batch_idx >= config.max_batches_per_epoch):
-                break
-            optimizer.zero_grad()
-            loss = F.cross_entropy(model(Tensor(images)), labels)
-            loss.backward()
-            optimizer.step()
-            history.losses.append(loss.item())
+        n_epoch_batches = 0
+        with span("pwt.epoch", epoch=epoch):
+            for batch_idx, (images, labels) in enumerate(
+                    iterate_batches(train_data, config.batch_size, rng=rng)):
+                if (config.max_batches_per_epoch is not None
+                        and batch_idx >= config.max_batches_per_epoch):
+                    break
+                optimizer.zero_grad()
+                loss = F.cross_entropy(model(Tensor(images)), labels)
+                loss.backward()
+                optimizer.step()
+                history.losses.append(loss.item())
+                n_epoch_batches += 1
         optimizer.lr *= config.lr_decay
+        # The per-epoch offset-loss curve (PWT convergence) goes into
+        # the metrics registry so the run manifest carries it.
+        obs_metrics.observe("pwt.epoch_loss", history.final_loss)
+        obs_metrics.inc("pwt.batches", n_epoch_batches)
         logger.info("PWT epoch %d: loss %.4f", epoch, history.final_loss)
+    obs_metrics.inc("pwt.runs")
     if config.round_offsets:
         for mod in crossbar_modules(model):
             mod.quantize_offsets(config.offset_bits)

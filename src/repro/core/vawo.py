@@ -38,6 +38,8 @@ import numpy as np
 
 from repro.core.offsets import OffsetPlan
 from repro.device.lut import DeviceLUT
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.utils.contracts import check_shapes
 
 
@@ -188,6 +190,28 @@ def run_vawo(ntw: np.ndarray, grads: np.ndarray, lut: DeviceLUT,
     if len(lut) != qmax + 1:
         raise ValueError("LUT size inconsistent with weight_bits")
 
+    with span("vawo.search", rows=plan.rows, cols=plan.cols,
+              granularity=plan.granularity, complement=use_complement):
+        result = _run_vawo_impl(ntw, grads, lut, plan, qmax, offset_bits,
+                                use_complement, grad_floor_frac,
+                                bias_tolerance, offset_chunk, col_chunk)
+    # Counters feed the run manifest: per-group offset search volume and
+    # how often the Section III-C complement formulation wins.
+    obs_metrics.inc("vawo.calls")
+    obs_metrics.inc("vawo.groups", result.registers.size)
+    obs_metrics.inc("vawo.offset_candidates_scored",
+                    result.registers.size * (1 << offset_bits)
+                    * (2 if use_complement else 1))
+    if use_complement:
+        obs_metrics.inc("vawo.complement_wins", int(result.complement.sum()))
+    return result
+
+
+def _run_vawo_impl(ntw: np.ndarray, grads: np.ndarray, lut: DeviceLUT,
+                   plan: OffsetPlan, qmax: int, offset_bits: int,
+                   use_complement: bool, grad_floor_frac: float,
+                   bias_tolerance: float, offset_chunk: int,
+                   col_chunk: int) -> VAWOResult:
     candidates = offset_candidates(offset_bits)
     tables = _build_target_tables(lut, qmax, candidates)
     # Floored gradient magnitudes keep the objective informative where

@@ -15,6 +15,7 @@ import numpy as np
 from repro.core.pipeline import Deployer
 from repro.data.loaders import Dataset
 from repro.nn.trainer import evaluate_accuracy
+from repro.obs.trace import span
 from repro.utils.rng import RngLike, spawn_rngs
 
 
@@ -53,9 +54,11 @@ def evaluate_deployment(deployer: Deployer, test_data: Dataset,
         raise ValueError("n_trials must be >= 1")
     rngs = spawn_rngs(rng, n_trials)
     accuracies = []
-    for trial_rng in rngs:
+    for trial, trial_rng in enumerate(rngs):
         deployed = deployer.program(rng=trial_rng)
-        accuracies.append(evaluate_accuracy(deployed, test_data, batch_size))
+        with span("deploy.eval", trial=trial):
+            accuracies.append(evaluate_accuracy(deployed, test_data,
+                                                batch_size))
     return TrialResult(accuracies=accuracies)
 
 

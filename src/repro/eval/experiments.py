@@ -43,6 +43,8 @@ from repro.eval.accuracy import evaluate_deployment, ideal_accuracy
 from repro.nn.models import LeNet, resnet18_slim, vgg16_slim
 from repro.nn.optim import Adam
 from repro.nn.trainer import evaluate_accuracy, train_classifier
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.utils.logging import get_logger
 from repro.utils.rng import make_rng
 from repro.utils.serialization import (SerializationError, load_arrays,
@@ -157,20 +159,24 @@ def build_workload(name: str, preset: str = "quick", seed: int = 0,
             # the seed's end-to-end test).
             logger.warning("discarding unreadable cache %s: %s",
                            cache_file, exc)
+            obs_metrics.inc("workload.cache_corrupt")
             cache_file.unlink(missing_ok=True)
     if cached_state is not None:
         model.load_state_dict(cached_state)
+        obs_metrics.inc("workload.cache_hits")
         logger.info("loaded cached weights for %s", cache_file.stem)
     else:
+        obs_metrics.inc("workload.cache_misses")
         aug = _augmented(train, spec.noise_augment, make_rng(seed + 2))
-        if train_override is None:
-            opt = Adam(model.parameters(), lr=spec.lr,
-                       weight_decay=spec.weight_decay)
-            train_classifier(model, aug, epochs=spec.epochs,
-                             batch_size=spec.batch_size, optimizer=opt,
-                             rng=make_rng(seed + 3))
-        else:
-            train_override(model, aug, spec, make_rng(seed + 3))
+        with span("workload.train", workload=name, preset=preset):
+            if train_override is None:
+                opt = Adam(model.parameters(), lr=spec.lr,
+                           weight_decay=spec.weight_decay)
+                train_classifier(model, aug, epochs=spec.epochs,
+                                 batch_size=spec.batch_size, optimizer=opt,
+                                 rng=make_rng(seed + 3))
+            else:
+                train_override(model, aug, spec, make_rng(seed + 3))
         save_arrays(str(cache_file), model.state_dict(),
                     metadata={"workload": name, "preset": preset, "seed": seed})
     acc = evaluate_accuracy(model, test)

@@ -13,6 +13,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.nn.tensor import Tensor
+from repro.utils.contracts import check_shapes
 from repro.utils.rng import make_rng
 
 
@@ -63,6 +64,7 @@ def col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int], kh: int,
 # ----------------------------------------------------------------------
 # convolution
 # ----------------------------------------------------------------------
+@check_shapes("(n,c,_,_),(f,c,kh,kw)->(n,f,_,_)", arg_names=["x", "weight"])
 def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
            stride: int = 1, padding: int = 0) -> Tensor:
     """2-D convolution (cross-correlation), NCHW layout.
@@ -113,6 +115,7 @@ def _pool_windows(x: np.ndarray, k: int, stride: int) -> np.ndarray:
     return windows
 
 
+@check_shapes("(n,c,_,_)->(n,c,_,_)", arg_names=["x"])
 def max_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
     """Max pooling with square windows. ``stride`` defaults to ``kernel_size``."""
     k = kernel_size
@@ -135,6 +138,7 @@ def max_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Ten
     return Tensor._make(out, (x,), backward)
 
 
+@check_shapes("(n,c,_,_)->(n,c,_,_)", arg_names=["x"])
 def avg_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
     """Average pooling with square windows."""
     k = kernel_size
@@ -155,6 +159,7 @@ def avg_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Ten
     return Tensor._make(out, (x,), backward)
 
 
+@check_shapes("(n,c,_,_)->(n,c)", arg_names=["x"])
 def global_avg_pool2d(x: Tensor) -> Tensor:
     """Mean over the spatial dims, returning (N, C)."""
     return x.mean(axis=(2, 3))

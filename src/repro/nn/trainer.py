@@ -12,6 +12,8 @@ from repro.nn import functional as F
 from repro.nn.module import Module
 from repro.nn.optim import Adam, Optimizer
 from repro.nn.tensor import Tensor
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.utils.logging import get_logger
 from repro.utils.rng import RngLike, make_rng
 
@@ -58,15 +60,20 @@ def train_classifier(model: Module, train_data: Dataset,
     for epoch in range(epochs):
         model.train()
         losses = []
-        for images, labels in iterate_batches(train_data, batch_size, rng=rng):
-            optimizer.zero_grad()
-            loss = F.cross_entropy(model(Tensor(images)), labels)
-            loss.backward()
-            optimizer.step()
-            losses.append(loss.item())
-        acc = evaluate_accuracy(model, score_data)
+        with span("train.epoch", epoch=epoch):
+            for images, labels in iterate_batches(train_data, batch_size,
+                                                  rng=rng):
+                optimizer.zero_grad()
+                loss = F.cross_entropy(model(Tensor(images)), labels)
+                loss.backward()
+                optimizer.step()
+                losses.append(loss.item())
+            acc = evaluate_accuracy(model, score_data)
         result.epoch_losses.append(float(np.mean(losses)))
         result.epoch_accuracies.append(acc)
+        obs_metrics.inc("train.batches", len(losses))
+        obs_metrics.observe("train.epoch_loss", result.epoch_losses[-1])
+        obs_metrics.observe("train.epoch_accuracy", acc)
         logger.info("epoch %d: loss %.4f acc %.4f", epoch,
                     result.epoch_losses[-1], acc)
     return result

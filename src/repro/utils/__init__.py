@@ -1,6 +1,6 @@
 """Shared utilities: reproducible RNG, logging, and serialization helpers."""
 
+from repro.utils.logging import get_logger, reset_logging
 from repro.utils.rng import make_rng, spawn_rngs
-from repro.utils.logging import get_logger
 
-__all__ = ["make_rng", "spawn_rngs", "get_logger"]
+__all__ = ["make_rng", "spawn_rngs", "get_logger", "reset_logging"]

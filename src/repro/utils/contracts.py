@@ -202,8 +202,15 @@ def check_shapes(spec: str, arg_names: Optional[Sequence[str]] = None,
                 f"parameters {names}")
         checked = list(zip(names, groups))
 
+        # Count contract activations through the obs layer (itself gated
+        # on REPRO_OBS), so REPRO_DEBUG=1 runs report how many checks
+        # actually fired in the run manifest. Imported lazily at
+        # decoration time, never per call.
+        from repro.obs import metrics as obs_metrics
+
         @functools.wraps(func)
         def wrapper(*args: Any, **kwargs: Any) -> Any:
+            obs_metrics.inc("contracts.activations")
             bound = sig.bind(*args, **kwargs)
             bound.apply_defaults()
             bindings: Dict[str, int] = {}

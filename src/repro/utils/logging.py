@@ -2,32 +2,91 @@
 
 We use the stdlib ``logging`` module with a library-wide namespace so
 applications can control verbosity with one call:
-``logging.getLogger("repro").setLevel(logging.INFO)``.
+``logging.getLogger("repro").setLevel(logging.INFO)`` — or, without
+touching code, through the ``REPRO_LOG_LEVEL`` environment variable
+(``DEBUG``/``INFO``/``WARNING``/``ERROR``/``CRITICAL`` or a numeric
+level; the default is ``WARNING``).
+
+One-time handler installation is guarded by a lock: the previous
+module-global boolean raced under threads (two first-callers could both
+install a handler) and could not be undone by tests.
+:func:`reset_logging` reverts everything so test suites can exercise
+the configuration path repeatedly.
 """
 
 from __future__ import annotations
 
 import logging
+import os
+import threading
+from typing import Optional
 
 _FORMAT = "%(asctime)s %(name)s %(levelname)s: %(message)s"
+_DEFAULT_LEVEL = logging.WARNING
+
+_lock = threading.Lock()
 _configured = False
+_installed_handler: Optional[logging.Handler] = None
+
+
+def _level_from_env(value: Optional[str] = None) -> int:
+    """Resolve ``REPRO_LOG_LEVEL`` to a logging level (default WARNING).
+
+    Accepts standard level names case-insensitively or a bare integer;
+    unrecognised values fall back to the default rather than raising —
+    a typo in an env var must never take down a run.
+    """
+    raw = os.environ.get("REPRO_LOG_LEVEL", "") if value is None else value
+    raw = raw.strip()
+    if not raw:
+        return _DEFAULT_LEVEL
+    if raw.isdigit():
+        return int(raw)
+    resolved = logging.getLevelName(raw.upper())
+    return resolved if isinstance(resolved, int) else _DEFAULT_LEVEL
+
+
+def _configure_root() -> None:
+    global _configured, _installed_handler
+    root = logging.getLogger("repro")
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root.addHandler(handler)
+        _installed_handler = handler
+    root.setLevel(_level_from_env())
+    _configured = True
 
 
 def get_logger(name: str) -> logging.Logger:
     """Return a logger under the ``repro`` namespace.
 
     ``name`` is typically ``__name__`` of the calling module; anything
-    outside the ``repro`` package is nested under it.
+    outside the ``repro`` package is nested under it. The first call
+    (process-wide, thread-safe) installs the stream handler and applies
+    ``REPRO_LOG_LEVEL``.
     """
-    global _configured
-    if not _configured:
-        handler = logging.StreamHandler()
-        handler.setFormatter(logging.Formatter(_FORMAT))
-        root = logging.getLogger("repro")
-        if not root.handlers:
-            root.addHandler(handler)
-        root.setLevel(logging.WARNING)
-        _configured = True
+    if not _configured:                 # racy fast-path; settled under lock
+        with _lock:
+            if not _configured:
+                _configure_root()
     if not name.startswith("repro"):
         name = f"repro.{name}"
     return logging.getLogger(name)
+
+
+def reset_logging() -> None:
+    """Undo :func:`get_logger`'s one-time configuration (for tests).
+
+    Removes the handler this module installed (handlers added by the
+    application are left alone) and restores the unconfigured state so
+    the next :func:`get_logger` call re-reads ``REPRO_LOG_LEVEL``.
+    """
+    global _configured, _installed_handler
+    with _lock:
+        root = logging.getLogger("repro")
+        if _installed_handler is not None:
+            root.removeHandler(_installed_handler)
+            _installed_handler = None
+        root.setLevel(logging.NOTSET)
+        _configured = False

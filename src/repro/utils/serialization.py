@@ -1,7 +1,12 @@
 """Save/load helpers for model parameters and experiment artifacts.
 
-Everything is stored with ``numpy.savez`` (portable, no pickle of code
-objects) plus a small JSON sidecar for non-array metadata.
+Array families are stored with ``numpy.savez`` (portable, no pickle of
+code objects) plus a small JSON sidecar for non-array metadata;
+structured documents (run manifests, span streams, benchmark sidecars)
+go through the :func:`save_json` / :func:`load_json` /
+:func:`write_jsonl` / :func:`read_jsonl` quartet so every on-disk
+artifact shares one error-handling contract (:class:`SerializationError`
+on unreadable files, numpy scalars coerced to plain JSON).
 
 Path normalisation contract
 ---------------------------
@@ -17,7 +22,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
 
 import numpy as np
 
@@ -91,3 +96,81 @@ def load_metadata(path: PathLike) -> Dict[str, Any]:
     if p.suffix == ".json":
         return dict(json.loads(p.read_text()))
     return dict(json.loads(sidecar_path(p).read_text()))
+
+
+# ----------------------------------------------------------------------
+# structured JSON / JSONL documents
+# ----------------------------------------------------------------------
+def _json_default(obj: Any) -> Any:
+    """Coerce numpy scalars/arrays (and Paths) into plain JSON values."""
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, Path):
+        return str(obj)
+    raise TypeError(f"{type(obj).__name__} is not JSON serializable")
+
+
+def save_json(path: PathLike, document: Any, indent: int = 2) -> Path:
+    """Write ``document`` as JSON to ``path`` (parents created).
+
+    Numpy scalars and arrays inside the document are converted to their
+    plain python equivalents. Returns the path written.
+    """
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(document, indent=indent,
+                            default=_json_default) + "\n")
+    return p
+
+
+def load_json(path: PathLike) -> Any:
+    """Load a JSON document; :class:`SerializationError` if unreadable."""
+    p = Path(path)
+    try:
+        return json.loads(p.read_text())
+    except FileNotFoundError:
+        raise
+    except (json.JSONDecodeError, OSError, UnicodeDecodeError) as exc:
+        raise SerializationError(
+            f"{p} exists but is not readable JSON "
+            f"({type(exc).__name__}: {exc})") from exc
+
+
+def write_jsonl(path: PathLike, rows: Iterable[Mapping[str, Any]]) -> Path:
+    """Write one compact JSON object per line (JSONL). Returns the path."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with p.open("w") as fh:
+        for row in rows:
+            fh.write(json.dumps(row, separators=(",", ":"),
+                                default=_json_default))
+            fh.write("\n")
+    return p
+
+
+def read_jsonl(path: PathLike) -> List[Dict[str, Any]]:
+    """Read a JSONL file back into a list of dicts (blank lines skipped)."""
+    p = Path(path)
+    rows: List[Dict[str, Any]] = []
+    try:
+        for lineno, line in enumerate(p.read_text().splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                rows.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise SerializationError(
+                    f"{p}:{lineno} is not valid JSON ({exc})") from exc
+    except FileNotFoundError:
+        raise
+    except (OSError, UnicodeDecodeError) as exc:
+        raise SerializationError(
+            f"{p} exists but cannot be read "
+            f"({type(exc).__name__}: {exc})") from exc
+    return rows

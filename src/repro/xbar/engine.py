@@ -28,6 +28,8 @@ import numpy as np
 from typing import TYPE_CHECKING
 
 from repro.device.cell import CellType
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.quant.bitslice import cell_significances
 from repro.utils.contracts import check_shapes
 from repro.xbar.adc import ADC
@@ -104,9 +106,11 @@ class CrossbarEngine:
                        0, self.input_qmax).astype(np.int64)
 
     @check_shapes("(...,r)->(_,c)", arg_names=["x"])
+    @span("xbar.engine.forward")
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Run the full pipeline on float activations (N, rows) -> (N, cols)."""
         x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        obs_metrics.inc("xbar.engine.vmm_batches", x.shape[0])
         xq = self.quantize_inputs(x)                        # (N, rows)
         n, rows = xq.shape
         m = self.plan.granularity

@@ -19,6 +19,8 @@ from typing import TYPE_CHECKING, List, Optional
 import numpy as np
 
 from repro.device.cell import CellType
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.xbar.adc import ADC
 from repro.xbar.engine import CrossbarEngine
 from repro.xbar.mapper import CrossbarMapper, TileSpec
@@ -75,8 +77,10 @@ class TiledCrossbarEngine:
         """Drive every tile and digitally combine the partial outputs:
         (N, rows) activations -> (N, cols) outputs."""
         x = np.atleast_2d(np.asarray(x, dtype=np.float64))
-        out = np.zeros((x.shape[0], self.plan.cols))
-        for tile, engine in zip(self.tiles, self._engines):
-            part = engine.forward(x[:, tile.row_start:tile.row_stop])
-            out[:, tile.col_start:tile.col_stop] += part
-        return out
+        obs_metrics.inc("xbar.tiled.vmm_batches", x.shape[0])
+        with span("xbar.tiled.forward", tiles=len(self.tiles)):
+            out = np.zeros((x.shape[0], self.plan.cols))
+            for tile, engine in zip(self.tiles, self._engines):
+                part = engine.forward(x[:, tile.row_start:tile.row_stop])
+                out[:, tile.col_start:tile.col_stop] += part
+            return out

@@ -52,3 +52,44 @@ class TestEndToEnd:
         out = capsys.readouterr().out
         assert "deployed:" in out
         assert "crossbars:" in out
+
+
+class TestProfile:
+    """``--profile`` writes obs artifacts; ``obs summarize`` renders them."""
+
+    def test_deploy_profile_then_summarize(self, tmp_path, capsys):
+        import repro.obs as obs
+
+        obs_dir = tmp_path / "obs"
+        assert main(["deploy", "--workload", "lenet", "--method", "vawo*",
+                     "--sigma", "0.5", "--trials", "1", "--seed", "0",
+                     "--profile", "--obs-dir", str(obs_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "obs:" in out
+        manifest = obs_dir / "deploy-manifest.json"
+        spans = obs_dir / "deploy-spans.jsonl"
+        assert manifest.exists() and spans.exists()
+
+        from repro.utils.serialization import load_json, read_jsonl
+        doc = load_json(manifest)
+        assert doc["schema"] == "repro.obs.manifest/v1"
+        assert doc["command"] == "deploy"
+        assert doc["extra"]["method"] == "vawo*"
+        stage_names = set(doc["stages"])
+        assert "deploy.program" in stage_names
+        assert "deploy.vawo" in stage_names
+        assert "deploy.eval" in stage_names
+        assert doc["metrics"]["counters"]["vawo.calls"] >= 1
+        assert len(read_jsonl(spans)) == doc["n_spans"] > 0
+        # The run left the process-wide state clean for whoever is next.
+        assert obs.trace.TRACER.records() == []
+
+        assert main(["obs", "summarize", str(manifest)]) == 0
+        table = capsys.readouterr().out
+        assert "run manifest — deploy" in table
+        assert "deploy.vawo" in table and "stage" in table
+
+    def test_summarize_missing_manifest_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "nope-manifest.json"
+        assert main(["obs", "summarize", str(missing)]) == 2
+        assert "no such manifest" in capsys.readouterr().out

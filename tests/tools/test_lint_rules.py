@@ -252,6 +252,38 @@ class TestR5NpzSuffix:
         assert out == []
 
 
+class TestR6NoPrintInLibrary:
+    def test_flags_print_in_library(self):
+        out = lint("print('hello')\n", path="src/repro/core/vawo.py")
+        assert codes(out) == ["R6"]
+        assert "print" in out[0].message
+
+    def test_outside_library_not_scoped(self):
+        assert lint("print('x')\n", path="example.py") == []
+
+    def test_benchmarks_and_tests_exempt(self):
+        for path in ("benchmarks/bench_fig5a.py",
+                     "tests/repro/test_x.py",
+                     "tools/lint/runner.py"):
+            assert lint("print('x')\n", path=path) == []
+
+    def test_print_ok_marker_suppresses(self):
+        out = lint("print('banner')  # print-ok\n",
+                   path="src/repro/cli.py")
+        assert out == []
+
+    def test_local_redefinition_not_flagged(self):
+        out = lint("""
+            from rich import print
+            print('styled')
+        """, path="src/repro/core/vawo.py")
+        assert out == []
+
+    def test_attribute_print_not_flagged(self):
+        out = lint("console.print('x')\n", path="src/repro/core/vawo.py")
+        assert out == []
+
+
 class TestInfrastructure:
     def test_syntax_error_reported_as_e999(self):
         out = lint("def broken(:\n")

@@ -1,8 +1,19 @@
 """Logging helpers."""
 
 import logging
+import threading
 
-from repro.utils.logging import get_logger
+import pytest
+
+from repro.utils.logging import (_level_from_env, get_logger, reset_logging)
+
+
+@pytest.fixture(autouse=True)
+def clean_logging_state():
+    """Each test exercises the one-time configuration from scratch."""
+    reset_logging()
+    yield
+    reset_logging()
 
 
 class TestGetLogger:
@@ -18,6 +29,59 @@ class TestGetLogger:
         root = logging.getLogger("repro")
         assert len(root.handlers) == 1
 
-    def test_default_level_warning(self):
+    def test_default_level_warning(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG_LEVEL", raising=False)
         get_logger("c")
         assert logging.getLogger("repro").level == logging.WARNING
+
+    def test_concurrent_first_calls_install_one_handler(self):
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            get_logger("race")
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(logging.getLogger("repro").handlers) == 1
+
+
+class TestEnvLevel:
+    def test_names_case_insensitive(self):
+        assert _level_from_env("debug") == logging.DEBUG
+        assert _level_from_env("Info") == logging.INFO
+        assert _level_from_env("ERROR") == logging.ERROR
+
+    def test_numeric_levels(self):
+        assert _level_from_env("15") == 15
+
+    def test_garbage_falls_back_to_warning(self):
+        assert _level_from_env("verbose-please") == logging.WARNING
+        assert _level_from_env("") == logging.WARNING
+
+    def test_env_var_applied_on_first_configure(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "INFO")
+        get_logger("d")
+        assert logging.getLogger("repro").level == logging.INFO
+
+
+class TestReset:
+    def test_reset_removes_only_our_handler(self):
+        get_logger("e")
+        root = logging.getLogger("repro")
+        mine = logging.NullHandler()
+        root.addHandler(mine)
+        reset_logging()
+        assert root.handlers == [mine]
+        root.removeHandler(mine)
+
+    def test_reconfigure_after_reset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "WARNING")
+        get_logger("f")
+        reset_logging()
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "DEBUG")
+        get_logger("f")
+        assert logging.getLogger("repro").level == logging.DEBUG

@@ -4,8 +4,10 @@ import numpy as np
 import pytest
 
 from repro.utils.serialization import (SerializationError, load_arrays,
-                                       load_metadata, normalize_archive_path,
-                                       save_arrays, sidecar_path)
+                                       load_json, load_metadata,
+                                       normalize_archive_path, read_jsonl,
+                                       save_arrays, save_json, sidecar_path,
+                                       write_jsonl)
 from repro.utils.rng import make_rng
 
 
@@ -80,6 +82,43 @@ class TestSaveLoad:
         save_arrays(str(tmp_path / "m"), {"x": np.ones(1)},
                     metadata={"tag": "v1"})
         assert load_metadata(str(tmp_path / "m.json"))["tag"] == "v1"
+
+    def test_json_roundtrip_coerces_numpy(self, tmp_path):
+        doc = {"n": np.int64(3), "x": np.float32(0.5),
+               "flag": np.bool_(True), "arr": np.arange(3),
+               "path": tmp_path / "sub"}
+        path = save_json(tmp_path / "doc.json", doc)
+        loaded = load_json(path)
+        assert loaded["n"] == 3 and loaded["x"] == 0.5
+        assert loaded["flag"] is True
+        assert loaded["arr"] == [0, 1, 2]
+        assert loaded["path"].endswith("sub")
+
+    def test_json_creates_parent_dirs(self, tmp_path):
+        path = save_json(tmp_path / "a" / "b" / "doc.json", {"k": 1})
+        assert path.exists()
+
+    def test_load_json_corrupt_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SerializationError):
+            load_json(bad)
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        rows = [{"a": 1}, {"a": 2, "b": [1, 2]}]
+        path = write_jsonl(tmp_path / "rows.jsonl", rows)
+        assert read_jsonl(path) == rows
+
+    def test_jsonl_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        path.write_text('{"a": 1}\n\n{"a": 2}\n')
+        assert read_jsonl(path) == [{"a": 1}, {"a": 2}]
+
+    def test_jsonl_corrupt_line_reports_line_number(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        path.write_text('{"a": 1}\nnot json\n')
+        with pytest.raises(SerializationError, match=":2 is not valid"):
+            read_jsonl(path)
 
     def test_model_state_roundtrip(self, tmp_path, trained_tiny_mlp):
         from tests.conftest import TinyMLP

@@ -1,6 +1,6 @@
 """repro-lint: custom static analysis for the simulation stack.
 
-Five AST-based rules encode the invariants the numpy-heavy pipeline
+Six AST-based rules encode the invariants the numpy-heavy pipeline
 (device variation -> VAWO/PWT offsets -> crossbar eval) depends on —
 the mistakes that corrupt accuracy numbers without crashing:
 
@@ -17,6 +17,10 @@ R4      No silent dtype narrowing of weight/conductance arrays
 R5      ``np.savez`` / ``np.load`` paths must show an explicit ``.npz``
         suffix (or ``# npz-ok``) — the save/load suffix-mismatch class
         of bug that broke the seed's tier-1 run.
+R6      No bare ``print()`` inside the ``repro`` library — output goes
+        through ``repro.utils.logging`` or the ``repro.obs`` exporters
+        (benchmarks/examples/tests/tools are exempt; ``# print-ok``
+        marks a deliberate exception).
 ======  ==============================================================
 
 Run it as ``python -m tools.lint src/ tests/ benchmarks/``. Suppress a

@@ -1,4 +1,4 @@
-"""The five repro-lint rules (R1-R5).
+"""The six repro-lint rules (R1-R6).
 
 Each rule is a stateless object with a ``code``, human metadata, and a
 ``check(ctx)`` generator yielding :class:`~tools.lint.report.Violation`
@@ -320,10 +320,60 @@ class NpzSuffixRule(Rule):
                 f"'# npz-ok'")
 
 
+# ----------------------------------------------------------------------
+# R6: no bare print() in library code
+# ----------------------------------------------------------------------
+class NoPrintInLibraryRule(Rule):
+    """Forbid bare ``print()`` calls inside the ``repro`` package.
+
+    Library output must flow through ``repro.utils.logging.get_logger``
+    (diagnostics, level-controlled via ``REPRO_LOG_LEVEL``) or the
+    ``repro.obs`` exporters (measurements) — a stray ``print`` is
+    invisible to verbosity control, corrupts piped CLI output, and
+    can't be captured in run artifacts. Benchmarks, examples, tests
+    and the ``tools`` package are exempt (they *are* front ends);
+    inside ``repro`` only the CLI's ``_echo`` helper talks to stdout.
+    A deliberate exception carries ``# print-ok`` on the line.
+    """
+
+    code = "R6"
+    name = "no-print-in-library"
+    description = ("bare print() inside src/repro — use "
+                   "repro.utils.logging.get_logger or the repro.obs "
+                   "exporters (or '# print-ok')")
+
+    _scoped_dirs = ("src/repro/", "repro/")
+    _exempt_dirs = ("benchmarks/", "examples/", "tests/", "tools/")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if any(d in ctx.path for d in self._exempt_dirs):
+            return False
+        return any(d in ctx.path for d in self._scoped_dirs)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not (isinstance(node.func, ast.Name)
+                    and node.func.id == "print"):
+                continue
+            # A local redefinition of `print` is not the builtin.
+            if ctx.aliases.get("print") is not None:
+                continue
+            if ctx.span_has_marker("print-ok", node.lineno, node.end_lineno):
+                continue
+            yield self._violation(
+                ctx, node,
+                "bare print() in library code — log via "
+                "repro.utils.logging.get_logger, report via repro.obs, "
+                "or mark a deliberate exception with '# print-ok'")
+
+
 ALL_RULES: Tuple[Rule, ...] = (
     UnseededRandomRule(),
     MutableDefaultRule(),
     TypedPublicApiRule(),
     DtypeNarrowingRule(),
     NpzSuffixRule(),
+    NoPrintInLibraryRule(),
 )
