@@ -11,7 +11,9 @@ parsing fixed-width text.
 
 The ``REPRO_BENCH_PRESET`` environment variable selects the workload
 scale: ``quick`` (default — minutes, the sizes CI runs) or ``full``
-(the sizes EXPERIMENTS.md reports).
+(the sizes EXPERIMENTS.md reports). ``REPRO_BENCH_JOBS`` selects the
+parallel trial worker count (``0`` = one per core; results are
+bit-identical across worker counts).
 """
 
 from __future__ import annotations
@@ -45,6 +47,24 @@ def trials() -> int:
     return 5 if preset() == "full" else 1
 
 
+def jobs() -> int:
+    """Parallel trial workers for the experiment runners.
+
+    ``REPRO_BENCH_JOBS`` selects the worker count (``0`` — the default —
+    means one per core, capped by the trial count; ``1`` forces serial).
+    Trial results are bit-identical across worker counts
+    (:mod:`repro.parallel`), so this only moves wall-clock time.
+    """
+    value = os.environ.get("REPRO_BENCH_JOBS", "0")
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise ValueError(f"REPRO_BENCH_JOBS must be an integer, got {value!r}")
+    if parsed < 0:
+        raise ValueError(f"REPRO_BENCH_JOBS must be >= 0, got {parsed}")
+    return parsed
+
+
 def _jsonable(value):
     """Coerce dataclasses (rows) and mappings into JSON-able structures."""
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
@@ -76,6 +96,7 @@ def report(name: str, lines, data=None) -> str:
         "name": name,
         "preset": preset(),
         "trials": trials(),
+        "jobs": jobs(),
         "elapsed_s": time.perf_counter() - _T0,
         "created_unix": time.time(),
         "lines": text.splitlines(),

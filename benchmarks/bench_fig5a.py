@@ -10,7 +10,7 @@ recovers progressively more, the combined scheme approaches the ideal
 line, and coarser granularity degrades VAWO more than VAWO*+PWT.
 """
 
-from _common import fmt_pct, preset, report, trials
+from _common import fmt_pct, jobs, preset, report, trials
 
 from repro.eval.experiments import run_fig5_accuracy
 
@@ -27,7 +27,7 @@ def run():
     granularities = (16, 64, 128) if preset() == "full" else (16, 128)
     rows = run_fig5_accuracy("lenet", preset=preset(),
                              granularities=granularities,
-                             sigma=0.5, n_trials=trials())
+                             sigma=0.5, n_trials=trials(), jobs=jobs())
     lines = ["Fig. 5(a) — LeNet, SLC, sigma=0.5",
              f"{'method':<12}{'m':>5}{'ours':>9}{'paper':>9}"]
     for r in rows:

@@ -10,7 +10,7 @@ scheme recovers most of the ideal accuracy, and PWT alone is much
 weaker than it was for LeNet.
 """
 
-from _common import fmt_pct, preset, report, trials
+from _common import fmt_pct, jobs, preset, report, trials
 
 from repro.eval.experiments import run_fig5_accuracy
 
@@ -30,7 +30,7 @@ def run():
         granularities = (16, 128)
     rows = run_fig5_accuracy("resnet18", preset=preset(), methods=methods,
                              granularities=granularities, sigma=0.5,
-                             n_trials=trials())
+                             n_trials=trials(), jobs=jobs())
     lines = ["Fig. 5(b) — ResNet-18 (slim), SLC, sigma=0.5",
              f"{'method':<12}{'m':>5}{'ours':>9}{'paper':>9}"]
     for r in rows:

@@ -6,7 +6,7 @@ combined scheme degrades gracefully in sigma, finer granularity stays
 ahead, and MLC cells (noisier per cell) still work.
 """
 
-from _common import fmt_pct, preset, report, trials
+from _common import fmt_pct, jobs, preset, report, trials
 
 from repro.eval.experiments import run_fig5c
 
@@ -21,7 +21,8 @@ def run():
         sigmas = (0.2, 0.5, 1.0)
         granularities = (16,)
     rows = run_fig5c(preset=preset(), sigmas=sigmas,
-                     granularities=granularities, n_trials=trials())
+                     granularities=granularities, n_trials=trials(),
+                     jobs=jobs())
     lines = ["Fig. 5(c) — ResNet-18 (slim), 2-bit MLC, VAWO*+PWT",
              f"{'sigma':>6}{'m':>5}{'ours':>9}{'paper':>9}"]
     for r in rows:

@@ -8,7 +8,7 @@ crossbars (the baselines' crossbar numbers are architectural constants
 and must match the paper exactly).
 """
 
-from _common import fmt_pct, preset, report, trials
+from _common import fmt_pct, jobs, preset, report, trials
 
 from repro.eval.experiments import run_table3
 
@@ -21,7 +21,7 @@ PAPER = {
 
 
 def run():
-    rows = run_table3(preset=preset(), n_trials=trials())
+    rows = run_table3(preset=preset(), n_trials=trials(), jobs=jobs())
     lines = ["Table III — comparison on VGG-16 (slim)",
              f"{'method':<12}{'sigma':>6}{'loss':>9}{'paper':>9}"
              f"{'xbars':>7}{'paper':>7}"]

@@ -6,7 +6,7 @@ Usage (after ``pip install -e .``):
 
     python -m repro train --workload lenet --preset quick
     python -m repro deploy --workload lenet --method "vawo*+pwt" \
-        --sigma 0.5 --granularity 16 --trials 5 --profile
+        --sigma 0.5 --granularity 16 --trials 5 --jobs 4 --profile
     python -m repro experiment --name fig5a
     python -m repro obs summarize obs/deploy-manifest.json
     python -m repro overhead --granularity 16 128
@@ -14,6 +14,10 @@ Usage (after ``pip install -e .``):
 
 Workloads are trained once and cached (``.cache/repro``), so repeated
 deploy/experiment invocations are fast.
+
+``--jobs/-j`` (on ``deploy``/``experiment``) shards the independent
+programming-cycle trials across worker processes (``0`` = one per
+core); results are bit-identical to a serial run at the same seed.
 
 ``--profile`` (on ``train``/``deploy``/``experiment``) enables the
 observability layer for the run and writes a spans JSONL plus a
@@ -49,6 +53,13 @@ def _add_profile_args(p: argparse.ArgumentParser) -> None:
                    help="directory for --profile artifacts (default: obs/)")
 
 
+def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", "-j", type=int, default=0, metavar="N",
+                   help="parallel trial workers: 0 = auto (one per core, "
+                        "capped by the trial count), 1 = serial. Results "
+                        "are bit-identical either way (default: 0)")
+
+
 def _add_train(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("train", help="train (and cache) a workload")
     p.add_argument("--workload", default="lenet",
@@ -76,6 +87,7 @@ def _add_deploy(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--saf", type=float, nargs=2, metavar=("SA0", "SA1"),
                    default=None, help="stuck-at fault rates")
+    _add_jobs_arg(p)
     _add_profile_args(p)
 
 
@@ -86,6 +98,7 @@ def _add_experiment(sub: argparse._SubParsersAction) -> None:
                             "table3"])
     p.add_argument("--preset", default="quick", choices=["quick", "full"])
     p.add_argument("--trials", type=int, default=2)
+    _add_jobs_arg(p)
     _add_profile_args(p)
 
 
@@ -182,7 +195,7 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
     deployer = Deployer(wl.model, wl.train, config, rng=args.seed + 10)
     ideal = ideal_accuracy(deployer, wl.test)
     result = evaluate_deployment(deployer, wl.test, n_trials=args.trials,
-                                 rng=args.seed + 20)
+                                 rng=args.seed + 20, jobs=args.jobs)
     _echo(f"workload:  {args.workload} (float {wl.float_accuracy:.2%}, "
           f"ideal quantized {ideal:.2%})")
     _echo(f"method:    {args.method}  sigma={args.sigma}  "
@@ -195,7 +208,9 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
                      extra={"workload": args.workload, "method": args.method,
                             "sigma": args.sigma,
                             "granularity": args.granularity,
+                            "jobs": args.jobs, "trials": args.trials,
                             "mean_accuracy": result.mean,
+                            "accuracies": result.accuracies,
                             "ideal_accuracy": ideal})
     return 0
 
@@ -207,17 +222,18 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     def finish(code: int = 0) -> int:
         if profiling:
             _profile_end(args, f"experiment-{args.name}",
-                         extra={"experiment": args.name})
+                         extra={"experiment": args.name, "jobs": args.jobs})
         return code
 
     if args.name == "fig5a":
         rows = ex.run_fig5_accuracy("lenet", args.preset,
-                                    n_trials=args.trials)
+                                    n_trials=args.trials, jobs=args.jobs)
     elif args.name == "fig5b":
         rows = ex.run_fig5_accuracy("resnet18", args.preset,
-                                    n_trials=args.trials)
+                                    n_trials=args.trials, jobs=args.jobs)
     elif args.name == "fig5c":
-        rows = ex.run_fig5c(args.preset, n_trials=args.trials)
+        rows = ex.run_fig5c(args.preset, n_trials=args.trials,
+                            jobs=args.jobs)
     elif args.name == "table1":
         for wl, per_m in ex.run_table1(args.preset).items():
             for m, v in per_m.items():
@@ -230,7 +246,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                   f"{row['total_power_mw']:.2f} mW ({row['power_overhead']:.1%})")
         return finish()
     else:
-        for row in ex.run_table3(args.preset, n_trials=args.trials):
+        for row in ex.run_table3(args.preset, n_trials=args.trials,
+                                 jobs=args.jobs):
             _echo(f"{row.method:<10} sigma={row.sigma} "
                   f"loss {row.accuracy_loss:.2%} "
                   f"crossbars {row.crossbar_number}")
@@ -272,6 +289,8 @@ def _cmd_info(_args: argparse.Namespace) -> int:
     _echo("methods:   plain, vawo, vawo*, pwt, vawo*+pwt")
     _echo("observability: REPRO_OBS=1 / --profile, REPRO_LOG_LEVEL, "
           "repro obs summarize")
+    _echo("parallelism:   --jobs/-j on deploy/experiment "
+          "(repro.parallel, bit-identical to serial)")
     return 0
 
 

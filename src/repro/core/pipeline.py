@@ -24,9 +24,12 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.eval.accuracy import TrialResult
 
 from repro.core.crossbar_layers import (CrossbarConv2d, CrossbarLinear,
                                         _CrossbarBase)
@@ -394,6 +397,27 @@ class Deployer:
             with span("deploy.pwt"):
                 run_pwt(deployed, self.train_data, self.config.pwt, rng)
         return deployed
+
+    def evaluate(self, test_data: Dataset, n_trials: int = 5,
+                 rng: RngLike = None, batch_size: int = 256,
+                 jobs: Optional[int] = 1,
+                 trial_timeout: Optional[float] = None) -> "TrialResult":
+        """Run ``n_trials`` independent programming cycles and score each.
+
+        The deployer's trial loop: every trial redraws the CCV noise
+        via its own ``SeedSequence``-spawned stream, programs the
+        crossbars, reruns PWT if configured, and evaluates on
+        ``test_data``. With ``jobs != 1`` the trials shard across
+        worker processes (:mod:`repro.parallel`) with bit-identical
+        results; ``trial_timeout`` bounds one trial's wall-clock
+        seconds in process mode. Returns a
+        :class:`repro.eval.accuracy.TrialResult`.
+        """
+        from repro.eval.accuracy import evaluate_deployment
+
+        return evaluate_deployment(self, test_data, n_trials=n_trials,
+                                   rng=rng, batch_size=batch_size, jobs=jobs,
+                                   trial_timeout=trial_timeout)
 
     def ideal_model(self) -> Module:
         """The noise-free quantized reference (the paper's "ideal" line).

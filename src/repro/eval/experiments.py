@@ -25,6 +25,7 @@ in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -45,8 +46,9 @@ from repro.nn.optim import Adam
 from repro.nn.trainer import evaluate_accuracy, train_classifier
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
+from repro.parallel import run_trials
 from repro.utils.logging import get_logger
-from repro.utils.rng import make_rng
+from repro.utils.rng import make_rng, spawn_seeds
 from repro.utils.serialization import (SerializationError, load_arrays,
                                        save_arrays)
 from repro.xbar.arch import normalized_crossbar_number
@@ -230,8 +232,13 @@ def run_fig5_accuracy(workload_name: str, preset: str = "quick",
                       methods: Sequence[str] = DeployConfig.METHODS,
                       granularities: Sequence[int] = (16, 64, 128),
                       sigma: float = 0.5, cell=SLC, n_trials: int = 2,
-                      seed: int = 0) -> List[AccuracyRow]:
-    """The Fig. 5(a)/(b) grid: every method at every granularity."""
+                      seed: int = 0,
+                      jobs: Optional[int] = 1) -> List[AccuracyRow]:
+    """The Fig. 5(a)/(b) grid: every method at every granularity.
+
+    ``jobs`` parallelises each cell's programming-cycle trials
+    (bit-identical to serial; see :mod:`repro.parallel`).
+    """
     wl = build_workload(workload_name, preset, seed)
     rows = []
     ideal = None
@@ -244,7 +251,8 @@ def run_fig5_accuracy(workload_name: str, preset: str = "quick",
             if ideal is None:
                 ideal = ideal_accuracy(deployer, wl.test)
             result = evaluate_deployment(deployer, wl.test,
-                                         n_trials=n_trials, rng=seed + 20)
+                                         n_trials=n_trials, rng=seed + 20,
+                                         jobs=jobs)
             rows.append(AccuracyRow(
                 workload=workload_name, method=method, granularity=m,
                 sigma=sigma, cell_bits=cell.bits,
@@ -258,8 +266,12 @@ def run_fig5_accuracy(workload_name: str, preset: str = "quick",
 def run_fig5c(preset: str = "quick",
               sigmas: Sequence[float] = (0.2, 0.4, 0.5, 0.7, 1.0),
               granularities: Sequence[int] = (16, 64, 128),
-              n_trials: int = 2, seed: int = 0) -> List[AccuracyRow]:
-    """Fig. 5(c): ResNet-18 on 2-bit MLCs, VAWO*+PWT, sigma sweep."""
+              n_trials: int = 2, seed: int = 0,
+              jobs: Optional[int] = 1) -> List[AccuracyRow]:
+    """Fig. 5(c): ResNet-18 on 2-bit MLCs, VAWO*+PWT, sigma sweep.
+
+    ``jobs`` parallelises each cell's programming-cycle trials.
+    """
     wl = build_workload("resnet18", preset, seed)
     rows = []
     for sigma in sigmas:
@@ -270,7 +282,8 @@ def run_fig5c(preset: str = "quick",
             deployer = Deployer(wl.model, wl.train, cfg, rng=seed + 10)
             ideal = ideal_accuracy(deployer, wl.test)
             result = evaluate_deployment(deployer, wl.test,
-                                         n_trials=n_trials, rng=seed + 20)
+                                         n_trials=n_trials, rng=seed + 20,
+                                         jobs=jobs)
             rows.append(AccuracyRow(
                 workload="resnet18", method="vawo*+pwt", granularity=m,
                 sigma=sigma, cell_bits=MLC2.bits,
@@ -332,17 +345,43 @@ def _dva_train(sigma: float):
     return train
 
 
+def _pm_trial(model, test_data: Dataset, sigma: float, trial: int,
+              rng) -> float:
+    """One PM programming-cycle trial (module-level so it pickles)."""
+    deployed = deploy_pm(model, PMConfig(sigma=sigma), rng=rng)
+    return evaluate_accuracy(deployed, test_data)
+
+
+def run_pm_trials(model, test_data: Dataset, sigma: float, n_trials: int,
+                  seeds, jobs: Optional[int] = 1) -> List[float]:
+    """PM trial accuracies over pre-spawned per-trial seed streams.
+
+    ``seeds`` are ``SeedSequence`` children (one per trial), so the
+    accuracies depend only on the streams — not on sweep ordering or
+    the worker count.
+    """
+    run = run_trials(partial(_pm_trial, model, test_data, sigma),
+                     n_trials, seeds=seeds, jobs=jobs)
+    return run.results()
+
+
 def run_table3(preset: str = "quick", n_trials: int = 2,
-               seed: int = 0) -> List[ComparisonRow]:
+               seed: int = 0, jobs: Optional[int] = 1) -> List[ComparisonRow]:
     """Accuracy loss + normalised crossbar count for all four methods.
 
     Mirrors Table III: DVA at sigma=0.5, PM / DVA+PM / this work at
     sigma=0.8, all on the VGG-16 workload. Crossbar numbers follow the
     devices-per-weight normalisation of Section IV-C2 (ours = 1).
+    ``jobs`` parallelises every method's programming-cycle trials.
+
+    Each method's trials draw from their own ``SeedSequence``-spawned
+    streams (one spawn child per method, re-spawned per trial), so
+    trial seeds are independent of sweep ordering and of ``n_trials``
+    elsewhere in the grid.
     """
     ours_devices = 4                       # 4 x 2-bit MLC per weight
     rows: List[ComparisonRow] = []
-    rngs = make_rng(seed + 99)
+    pm_roots = spawn_seeds(seed + 99, 2)   # one root per PM-family method
 
     # --- DVA: variation-aware training, plain one-crossbar deployment.
     dva_wl = build_workload("vgg16", preset, seed,
@@ -350,7 +389,7 @@ def run_table3(preset: str = "quick", n_trials: int = 2,
     cfg = DeployConfig.from_method("plain", sigma=0.5, cell=SLC)
     deployer = Deployer(dva_wl.model, dva_wl.train, cfg, rng=seed + 10)
     res = evaluate_deployment(deployer, dva_wl.test, n_trials=n_trials,
-                              rng=seed + 20)
+                              rng=seed + 20, jobs=jobs)
     rows.append(ComparisonRow(
         method="DVA", network="vgg16", sigma=0.5,
         accuracy_loss=dva_wl.float_accuracy - res.mean,
@@ -359,11 +398,10 @@ def run_table3(preset: str = "quick", n_trials: int = 2,
 
     # --- PM and DVA+PM: unary coding + priority mapping, sigma=0.8.
     plain_wl = build_workload("vgg16", preset, seed)
-    for label, wl in (("PM", plain_wl), ("DVA+PM", dva_wl)):
-        accs = []
-        for t in range(n_trials):
-            deployed = deploy_pm(wl.model, PMConfig(sigma=0.8), rng=rngs)
-            accs.append(evaluate_accuracy(deployed, wl.test))
+    for root, (label, wl) in zip(pm_roots, (("PM", plain_wl),
+                                            ("DVA+PM", dva_wl))):
+        accs = run_pm_trials(wl.model, wl.test, 0.8, n_trials,
+                             seeds=spawn_seeds(root, n_trials), jobs=jobs)
         rows.append(ComparisonRow(
             method=label, network="vgg16", sigma=0.8,
             accuracy_loss=wl.float_accuracy - float(np.mean(accs)),
@@ -376,7 +414,7 @@ def run_table3(preset: str = "quick", n_trials: int = 2,
                                    bn_recalibrate=True)
     deployer = Deployer(plain_wl.model, plain_wl.train, cfg, rng=seed + 10)
     res = evaluate_deployment(deployer, plain_wl.test, n_trials=n_trials,
-                              rng=seed + 20)
+                              rng=seed + 20, jobs=jobs)
     rows.append(ComparisonRow(
         method="This work", network="vgg16", sigma=0.8,
         accuracy_loss=plain_wl.float_accuracy - res.mean,

@@ -1,0 +1,33 @@
+"""Parallel Monte-Carlo trial execution (``repro.parallel``).
+
+Shards independent programming-cycle trials across a process pool with
+bit-identical-to-serial determinism (``SeedSequence``-spawned per-trial
+streams), retry-once-then-record-fault robustness, per-trial timeouts,
+and worker→parent observability merging. See
+:mod:`repro.parallel.executor` for the full contract.
+
+Quick use::
+
+    from repro.parallel import run_trials
+
+    run = run_trials(fn, n_trials=8, seed=0, jobs=4)   # fn(trial, rng)
+    values = run.results()      # trial-index order, faults raise
+
+The deployment pipeline exposes this via ``Deployer.evaluate(...)``,
+``repro.eval.accuracy.evaluate_deployment(..., jobs=...)``, the
+experiment runners' ``jobs=`` parameters, and the CLI's ``--jobs/-j``.
+"""
+
+from repro.parallel.executor import (BACKENDS, TrialExecutor,
+                                     TrialFaultError, TrialOutcome, TrialRun,
+                                     resolve_jobs, run_trials)
+from repro.parallel.merge import merge_trial_payload
+from repro.parallel.rngshard import rng_for_trial, trial_seeds
+from repro.parallel.worker import TrialPayload, TrialTask, run_trial_task
+
+__all__ = [
+    "BACKENDS", "TrialExecutor", "TrialFaultError", "TrialOutcome",
+    "TrialRun", "resolve_jobs", "run_trials", "merge_trial_payload",
+    "trial_seeds", "rng_for_trial", "TrialTask", "TrialPayload",
+    "run_trial_task",
+]

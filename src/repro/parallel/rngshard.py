@@ -1,0 +1,53 @@
+"""Per-trial RNG stream sharding for the parallel executor.
+
+The determinism contract of :mod:`repro.parallel` is that a trial grid
+run with ``jobs=N`` is **bit-identical** to the same grid run serially
+at the same seed. That holds because both paths derive their per-trial
+generators from the same ``SeedSequence.spawn`` children — the serial
+loop via :func:`repro.utils.rng.spawn_rngs`, the executor via
+:func:`trial_seeds` below — and ``SeedSequence`` objects pickle across
+process boundaries intact, so a worker reconstructs the exact generator
+the parent would have built.
+
+Results therefore depend only on ``(seed, trial index)``, never on the
+number of workers, the backend chosen, or the order trials finish in.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import RngLike, SeedLike, make_rng, spawn_seeds
+
+__all__ = ["trial_seeds", "rng_for_trial"]
+
+
+def trial_seeds(seed: RngLike, n_trials: int,
+                seeds: Optional[Sequence[SeedLike]] = None) -> List[SeedLike]:
+    """The picklable per-trial seed material for an ``n_trials`` run.
+
+    With ``seeds`` given (pre-spawned, e.g. a slice of a larger grid's
+    streams) they are validated and returned; otherwise ``n_trials``
+    children are spawned from ``seed`` exactly as
+    :func:`repro.utils.rng.spawn_rngs` would — the source of the
+    serial/parallel bit-identity guarantee.
+    """
+    if seeds is not None:
+        materialised = list(seeds)
+        if len(materialised) != n_trials:
+            raise ValueError(
+                f"got {len(materialised)} explicit seeds for "
+                f"{n_trials} trials")
+        return materialised
+    return spawn_seeds(seed, n_trials)
+
+
+def rng_for_trial(seed: SeedLike) -> np.random.Generator:
+    """Rebuild one trial's generator from its shipped seed material.
+
+    Called inside worker processes (and by the serial/thread paths, so
+    every backend constructs generators identically).
+    """
+    return make_rng(seed)

@@ -12,20 +12,47 @@ from typing import List, Union
 
 import numpy as np
 
-RngLike = Union[int, np.random.Generator, None]
+RngLike = Union[int, np.random.Generator, np.random.SeedSequence, None]
+
+#: Picklable seed material for one child stream — what
+#: :func:`spawn_seeds` hands out and :func:`make_rng` accepts back.
+#: ``SeedSequence`` children cross process boundaries intact, so a
+#: worker process reconstructs the exact generator the parent would
+#: have used serially.
+SeedLike = Union[int, np.random.SeedSequence]
 
 
 def make_rng(seed: RngLike = None) -> np.random.Generator:
     """Return a ``numpy.random.Generator``.
 
     Accepts an integer seed, an existing generator (returned unchanged),
-    or ``None`` (fresh OS-entropy generator). This lets every public API
-    take a single ``seed`` argument that callers can satisfy with
-    whatever they have at hand.
+    a ``SeedSequence`` (e.g. a :func:`spawn_seeds` child), or ``None``
+    (fresh OS-entropy generator). This lets every public API take a
+    single ``seed`` argument that callers can satisfy with whatever they
+    have at hand.
     """
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def spawn_seeds(seed: RngLike, n: int) -> List[SeedLike]:
+    """Derive ``n`` independent, *picklable* child seeds from one seed.
+
+    The children are ``SeedSequence.spawn`` descendants (falling back to
+    integer draws for bit generators without a seed sequence), so they
+    can be shipped to worker processes and turned back into generators
+    with :func:`make_rng`. :func:`spawn_rngs` builds on this function,
+    which guarantees that a trial executed in a subprocess sees the
+    bit-identical stream a serial loop would have given it.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    root = make_rng(seed)
+    seed_seq = getattr(root.bit_generator, "seed_seq", None)
+    if seed_seq is not None:
+        return list(seed_seq.spawn(n))
+    return [derive_seed(root) for _ in range(n)]
 
 
 def spawn_rngs(seed: RngLike, n: int) -> List[np.random.Generator]:
@@ -35,12 +62,7 @@ def spawn_rngs(seed: RngLike, n: int) -> List[np.random.Generator]:
     its repeated trials (e.g. the 5 programming cycles the paper averages
     over) while staying reproducible from one top-level seed.
     """
-    if n < 0:
-        raise ValueError(f"n must be non-negative, got {n}")
-    root = make_rng(seed)
-    return [np.random.default_rng(s) for s in root.bit_generator.seed_seq.spawn(n)] \
-        if hasattr(root.bit_generator, "seed_seq") and root.bit_generator.seed_seq is not None \
-        else [np.random.default_rng(root.integers(0, 2**63)) for _ in range(n)]
+    return [np.random.default_rng(s) for s in spawn_seeds(seed, n)]
 
 
 def derive_seed(rng: np.random.Generator) -> int:

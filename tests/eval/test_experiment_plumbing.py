@@ -27,7 +27,8 @@ def stubbed(monkeypatch, trained_tiny_mlp, blob_data):
         def __init__(self, model, train, config, rng=None):
             captured.append(config)
 
-    def fake_eval(deployer, test, n_trials=2, rng=None, batch_size=256):
+    def fake_eval(deployer, test, n_trials=2, rng=None, batch_size=256,
+                  jobs=1, trial_timeout=None):
         return TrialResult(accuracies=[0.5] * n_trials)
 
     def fake_ideal(deployer, test, batch_size=256):

@@ -1,0 +1,1 @@
+"""Tests for the parallel trial executor (``repro.parallel``)."""

@@ -1,0 +1,24 @@
+"""Fixtures for the parallel-executor tests.
+
+Mirrors ``tests/obs/conftest.py``: tests that exercise the obs-merge
+path run against clean process-wide tracer/registry state and restore
+the dynamic switch on exit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import runtime
+
+
+@pytest.fixture
+def obs_on():
+    """Enable collection with empty state; restore on exit."""
+    was_active = runtime.enabled()
+    obs.reset()
+    runtime.enable()
+    yield obs
+    runtime._STATE.active = was_active
+    obs.reset()

@@ -1,0 +1,122 @@
+"""The benchmark-regression gate (``python -m tools.bench_diff``)."""
+
+import json
+
+import pytest
+
+from tools.bench_diff import (SIDECAR_SCHEMA, compare, load_sidecars, main,
+                              run_diff)
+
+
+def write_sidecar(directory, name, elapsed_s, schema=SIDECAR_SCHEMA):
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {"schema": schema, "name": name, "preset": "quick",
+               "elapsed_s": elapsed_s}
+    (directory / f"{name}.json").write_text(json.dumps(payload))
+
+
+def gate(tmp_path, **kwargs):
+    args = dict(baseline_dir=tmp_path / "base", current_dir=tmp_path / "cur",
+                max_slowdown=1.5, min_baseline_s=2.0,
+                require_baseline=False)
+    args.update(kwargs)
+    return run_diff(**args)
+
+
+class TestLoadSidecars:
+    def test_parses_and_skips_foreign_json(self, tmp_path):
+        write_sidecar(tmp_path, "fig5a", 10.0)
+        (tmp_path / "notes.json").write_text(json.dumps({"foo": 1}))
+        (tmp_path / "broken.json").write_text("{nope")
+        write_sidecar(tmp_path, "other", 1.0, schema="something/else")
+        entries = load_sidecars(tmp_path)
+        assert set(entries) == {"fig5a"}
+        assert entries["fig5a"].elapsed_s == 10.0
+
+    def test_recurses(self, tmp_path):
+        write_sidecar(tmp_path / "nested", "fig5a", 3.0)
+        assert set(load_sidecars(tmp_path)) == {"fig5a"}
+
+
+class TestCompare:
+    def test_worst_first_and_flags(self, tmp_path):
+        base = {"a": 10.0, "b": 10.0, "tiny": 0.5}
+        cur = {"a": 12.0, "b": 20.0, "tiny": 50.0}
+        write = lambda d, entries: [write_sidecar(d, n, s)  # noqa: E731
+                                    for n, s in entries.items()]
+        write(tmp_path / "base", base)
+        write(tmp_path / "cur", cur)
+        comps = compare(load_sidecars(tmp_path / "base"),
+                        load_sidecars(tmp_path / "cur"),
+                        max_slowdown=1.5, min_baseline_s=2.0)
+        assert [c.name for c in comps] == ["tiny", "b", "a"]
+        by = {c.name: c for c in comps}
+        assert by["a"].regressed is False
+        assert by["b"].regressed is True and by["b"].ratio == 2.0
+        # Sub-floor baselines never gate, however bad the ratio looks.
+        assert by["tiny"].skipped_short and not by["tiny"].regressed
+
+
+class TestGate:
+    def test_ok_run_passes(self, tmp_path):
+        write_sidecar(tmp_path / "base", "fig5a", 10.0)
+        write_sidecar(tmp_path / "cur", "fig5a", 12.0)
+        assert gate(tmp_path) == 0
+
+    def test_regression_fails(self, tmp_path):
+        write_sidecar(tmp_path / "base", "fig5a", 10.0)
+        write_sidecar(tmp_path / "cur", "fig5a", 20.0)
+        assert gate(tmp_path) == 1
+
+    def test_missing_baseline_passes_by_default(self, tmp_path):
+        write_sidecar(tmp_path / "cur", "fig5a", 20.0)
+        assert gate(tmp_path) == 0
+
+    def test_missing_baseline_fails_when_required(self, tmp_path):
+        write_sidecar(tmp_path / "cur", "fig5a", 20.0)
+        assert gate(tmp_path, require_baseline=True) == 2
+
+    def test_empty_baseline_dir_passes_by_default(self, tmp_path):
+        (tmp_path / "base").mkdir()
+        write_sidecar(tmp_path / "cur", "fig5a", 20.0)
+        assert gate(tmp_path) == 0
+        assert gate(tmp_path, require_baseline=True) == 2
+
+    def test_missing_current_is_an_error(self, tmp_path):
+        write_sidecar(tmp_path / "base", "fig5a", 10.0)
+        assert gate(tmp_path) == 2
+
+    def test_new_and_removed_benches_do_not_gate(self, tmp_path, capsys):
+        write_sidecar(tmp_path / "base", "gone", 10.0)
+        write_sidecar(tmp_path / "cur", "fresh", 10.0)
+        assert gate(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "fresh" in out and "gone" in out
+
+    def test_raised_limit_tolerates_slowdown(self, tmp_path):
+        write_sidecar(tmp_path / "base", "fig5a", 10.0)
+        write_sidecar(tmp_path / "cur", "fig5a", 20.0)
+        assert gate(tmp_path, max_slowdown=3.0) == 0
+
+
+class TestMain:
+    def run_main(self, tmp_path, *extra):
+        return main(["--baseline", str(tmp_path / "base"),
+                     "--current", str(tmp_path / "cur"), *extra])
+
+    def test_cli_roundtrip(self, tmp_path):
+        write_sidecar(tmp_path / "base", "fig5a", 10.0)
+        write_sidecar(tmp_path / "cur", "fig5a", 11.0)
+        assert self.run_main(tmp_path) == 0
+        write_sidecar(tmp_path / "cur", "fig5a", 99.0)
+        assert self.run_main(tmp_path, "--max-slowdown", "1.5") == 1
+
+    def test_invalid_flags_rejected(self, tmp_path):
+        write_sidecar(tmp_path / "base", "fig5a", 10.0)
+        write_sidecar(tmp_path / "cur", "fig5a", 10.0)
+        assert self.run_main(tmp_path, "--max-slowdown", "0") == 2
+        assert self.run_main(tmp_path, "--min-baseline-s", "-1") == 2
+
+    def test_required_args(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,217 @@
+"""Benchmark-regression gate over ``repro.bench.sidecar/v1`` JSON files.
+
+Compares the wall-clock time (``elapsed_s``) of each benchmark sidecar
+in ``--current`` against the same-named sidecar in ``--baseline`` and
+fails (exit 1) when any bench slowed down by more than
+``--max-slowdown``x. CI runs this against the previous main-branch
+sidecars restored from the actions cache, so a PR that regresses the
+benchmark suite's runtime is flagged before merge.
+
+Design points:
+
+- stdlib only — the gate must run on a bare CI python before any
+  project dependency is installed.
+- A missing baseline directory (first run, cache eviction) is not an
+  error unless ``--require-baseline`` is passed: the gate reports
+  "no baseline" and exits 0 so bootstrap runs stay green.
+- Benches shorter than ``--min-baseline-s`` in the baseline are
+  compared but never fail the gate — sub-second runs are dominated by
+  interpreter startup noise, not by the code under test.
+- New benches (no baseline entry) and removed benches (baseline entry
+  with no current run) are reported informationally, never fatally.
+
+Usage::
+
+    python -m tools.bench_diff --baseline DIR --current DIR \
+        [--max-slowdown 1.5] [--min-baseline-s 2.0] [--require-baseline]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Sidecar schema this tool understands (see benchmarks/_common.py).
+SIDECAR_SCHEMA = "repro.bench.sidecar/v1"
+
+
+@dataclass
+class BenchEntry:
+    """One parsed sidecar: the bench name and its wall-clock seconds."""
+
+    name: str
+    elapsed_s: float
+    preset: str
+    path: Path
+
+
+@dataclass
+class Comparison:
+    """Baseline-vs-current verdict for one bench."""
+
+    name: str
+    baseline_s: float
+    current_s: float
+    ratio: float
+    skipped_short: bool
+    regressed: bool
+
+
+def load_sidecars(directory: Path) -> Dict[str, BenchEntry]:
+    """Parse every ``*.json`` sidecar under ``directory`` (recursively).
+
+    Files that are not valid sidecars (wrong schema, missing fields,
+    broken JSON) are skipped with a note on stderr — artifact
+    directories often carry unrelated JSON.
+    """
+    entries: Dict[str, BenchEntry] = {}
+    for path in sorted(directory.rglob("*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"bench-diff: skipping unreadable {path}: {exc}",
+                  file=sys.stderr)
+            continue
+        if not isinstance(payload, dict) \
+                or payload.get("schema") != SIDECAR_SCHEMA:
+            continue
+        name = payload.get("name")
+        elapsed = payload.get("elapsed_s")
+        if not isinstance(name, str) \
+                or not isinstance(elapsed, (int, float)):
+            print(f"bench-diff: skipping malformed sidecar {path}",
+                  file=sys.stderr)
+            continue
+        entries[name] = BenchEntry(name=name, elapsed_s=float(elapsed),
+                                   preset=str(payload.get("preset", "?")),
+                                   path=path)
+    return entries
+
+
+def compare(baseline: Dict[str, BenchEntry],
+            current: Dict[str, BenchEntry],
+            max_slowdown: float,
+            min_baseline_s: float) -> List[Comparison]:
+    """Compare every bench present in both sets; sorted worst-first."""
+    out: List[Comparison] = []
+    for name in sorted(set(baseline) & set(current)):
+        base_s = baseline[name].elapsed_s
+        cur_s = current[name].elapsed_s
+        ratio = cur_s / base_s if base_s > 0 else float("inf")
+        skipped = base_s < min_baseline_s
+        out.append(Comparison(
+            name=name, baseline_s=base_s, current_s=cur_s, ratio=ratio,
+            skipped_short=skipped,
+            regressed=(not skipped and ratio > max_slowdown)))
+    out.sort(key=lambda c: c.ratio, reverse=True)
+    return out
+
+
+def _fmt_row(c: Comparison) -> str:
+    flag = "REGRESSED" if c.regressed else \
+        ("short-skip" if c.skipped_short else "ok")
+    return (f"  {c.name:<20}{c.baseline_s:>10.2f}s{c.current_s:>10.2f}s"
+            f"{c.ratio:>8.2f}x  {flag}")
+
+
+def run_diff(baseline_dir: Path, current_dir: Path, max_slowdown: float,
+             min_baseline_s: float, require_baseline: bool,
+             out=None) -> int:
+    """Execute the gate; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    if not current_dir.is_dir():
+        print(f"bench-diff: current dir {current_dir} does not exist",
+              file=sys.stderr)
+        return 2
+    current = load_sidecars(current_dir)
+    if not current:
+        print(f"bench-diff: no sidecars found under {current_dir}",
+              file=sys.stderr)
+        return 2
+
+    if not baseline_dir.is_dir():
+        if require_baseline:
+            print(f"bench-diff: baseline dir {baseline_dir} missing and "
+                  "--require-baseline set", file=sys.stderr)
+            return 2
+        print(f"bench-diff: no baseline at {baseline_dir} — "
+              f"nothing to compare ({len(current)} current benches); "
+              "passing.", file=out)
+        return 0
+    baseline = load_sidecars(baseline_dir)
+    if not baseline:
+        if require_baseline:
+            print(f"bench-diff: no baseline sidecars under {baseline_dir} "
+                  "and --require-baseline set", file=sys.stderr)
+            return 2
+        print(f"bench-diff: baseline dir {baseline_dir} has no sidecars; "
+              "passing.", file=out)
+        return 0
+
+    comparisons = compare(baseline, current, max_slowdown, min_baseline_s)
+    new = sorted(set(current) - set(baseline))
+    gone = sorted(set(baseline) - set(current))
+
+    print(f"bench-diff: {len(comparisons)} compared, "
+          f"{len(new)} new, {len(gone)} missing "
+          f"(max-slowdown {max_slowdown:.2f}x, "
+          f"short floor {min_baseline_s:.1f}s)", file=out)
+    if comparisons:
+        print(f"  {'bench':<20}{'baseline':>11}{'current':>11}"
+              f"{'ratio':>9}", file=out)
+        for c in comparisons:
+            print(_fmt_row(c), file=out)
+    for name in new:
+        print(f"  {name:<20} new bench — no baseline, not gated", file=out)
+    for name in gone:
+        print(f"  {name:<20} in baseline but not in current run", file=out)
+
+    regressions = [c for c in comparisons if c.regressed]
+    if regressions:
+        worst = regressions[0]
+        print(f"bench-diff: FAIL — {len(regressions)} regression(s); "
+              f"worst {worst.name} at {worst.ratio:.2f}x "
+              f"(limit {max_slowdown:.2f}x)", file=out)
+        return 1
+    print("bench-diff: OK — no benchmark regressions.", file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.bench_diff",
+        description="Fail when benchmark sidecars regress vs a baseline.")
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="directory of previous-run sidecar JSONs")
+    parser.add_argument("--current", type=Path, required=True,
+                        help="directory of this run's sidecar JSONs")
+    parser.add_argument("--max-slowdown", type=float, default=1.5,
+                        help="fail when current/baseline exceeds this "
+                             "ratio (default 1.5)")
+    parser.add_argument("--min-baseline-s", type=float, default=2.0,
+                        help="baselines shorter than this are reported "
+                             "but never gate (default 2.0)")
+    parser.add_argument("--require-baseline", action="store_true",
+                        help="treat a missing/empty baseline as an error "
+                             "instead of passing")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.max_slowdown <= 0:
+        print("bench-diff: --max-slowdown must be > 0", file=sys.stderr)
+        return 2
+    if args.min_baseline_s < 0:
+        print("bench-diff: --min-baseline-s must be >= 0", file=sys.stderr)
+        return 2
+    return run_diff(args.baseline, args.current, args.max_slowdown,
+                    args.min_baseline_s, args.require_baseline)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
