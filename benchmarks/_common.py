@@ -13,7 +13,10 @@ The ``REPRO_BENCH_PRESET`` environment variable selects the workload
 scale: ``quick`` (default — minutes, the sizes CI runs) or ``full``
 (the sizes EXPERIMENTS.md reports). ``REPRO_BENCH_JOBS`` selects the
 parallel trial worker count (``0`` = one per core; results are
-bit-identical across worker counts).
+bit-identical across worker counts). ``REPRO_BACKEND`` selects the
+compute backend the kernels dispatch to (``vectorized`` by default;
+every backend is numerically interchangeable, so this too only moves
+wall-clock time) — the active name is recorded in every sidecar.
 """
 
 from __future__ import annotations
@@ -65,6 +68,18 @@ def jobs() -> int:
     return parsed
 
 
+def backend() -> str:
+    """The compute backend the benched kernels dispatch to.
+
+    Resolved through the :mod:`repro.backend` registry (override, then
+    ``REPRO_BACKEND``, then the built-in default), so sidecars record
+    which kernel set produced their timings.
+    """
+    from repro.backend import default_backend_name
+
+    return default_backend_name()
+
+
 def _jsonable(value):
     """Coerce dataclasses (rows) and mappings into JSON-able structures."""
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
@@ -76,13 +91,16 @@ def _jsonable(value):
     return value
 
 
-def report(name: str, lines, data=None) -> str:
+def report(name: str, lines, data=None, elapsed_s=None) -> str:
     """Print a report; persist ``<name>.txt`` and a ``<name>.json`` sidecar.
 
     ``data`` (optional) is the bench's structured measured numbers —
     a list of row dataclasses/dicts or a mapping; it lands in the
     sidecar unchanged (dataclasses converted to dicts) so downstream
-    tooling never has to parse the fixed-width text.
+    tooling never has to parse the fixed-width text. ``elapsed_s``
+    (optional) overrides the recorded wall time — microbenchmarks pass
+    their measured mean so the ``bench-regress`` gate compares kernel
+    time, not process uptime.
     """
     from repro.obs import enabled as obs_enabled
     from repro.obs import metrics as obs_metrics
@@ -97,7 +115,9 @@ def report(name: str, lines, data=None) -> str:
         "preset": preset(),
         "trials": trials(),
         "jobs": jobs(),
-        "elapsed_s": time.perf_counter() - _T0,
+        "backend": backend(),
+        "elapsed_s": (float(elapsed_s) if elapsed_s is not None
+                      else time.perf_counter() - _T0),
         "created_unix": time.time(),
         "lines": text.splitlines(),
         "data": _jsonable(data) if data is not None else None,

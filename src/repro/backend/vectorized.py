@@ -1,0 +1,149 @@
+"""The vectorized kernel set — the default backend.
+
+Same arithmetic as :mod:`repro.backend.reference`, restructured for
+throughput:
+
+* im2col and pooling windows are built from one
+  ``np.lib.stride_tricks.as_strided`` view copied in a single pass
+  instead of a python loop over kernel positions;
+* the bit-serial crossbar VMM vectorizes the input-bit × offset-group ×
+  cell-significance loops of the reference engine into a handful of
+  batched einsums over the group-reshaped cell tensor — with an ideal
+  ADC the whole accumulation collapses to *one* contraction against the
+  cached sign-folded CRW (:attr:`EngineOperands.signed_crw_grouped`);
+* the digital offset add (Eq. 7) and the complement post-processing use
+  the precomputed per-group input-sum gain matrix
+  (:attr:`EngineOperands.offset_gain`): one (N, k) @ (k, cols) matmul
+  replaces the per-group broadcast/where pass.
+
+Numerical interchangeability with ``reference`` (up to float rounding)
+is asserted by the shared equivalence suite in ``tests/backend/``.
+
+This module is the one sanctioned home of strided-window tricks in the
+library (lint rule R7): consumers go through
+:func:`repro.backend.get_backend`, never through ``as_strided``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from repro.backend.base import EngineOperands, KernelBackend
+
+
+def _window_view(x: np.ndarray, kh: int, kw: int,
+                 stride: int) -> Tuple[np.ndarray, int, int]:
+    """A zero-copy (N, C, kh, kw, OH, OW) sliding-window view of ``x``
+    (N, C, H, W); returns ``(view, OH, OW)``.
+
+    The view aliases ``x`` with overlapping strides — callers must copy
+    (e.g. via ``reshape``) before writing anywhere.
+    """
+    n, c, h, w = x.shape
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    sn, sc, sh, sw = x.strides
+    view = as_strided(x, shape=(n, c, kh, kw, oh, ow),
+                      strides=(sn, sc, sh, sw, sh * stride, sw * stride))
+    return view, oh, ow
+
+
+class VectorizedBackend(KernelBackend):
+    """Strided-view windows and batched bit-serial VMM kernels."""
+
+    name = "vectorized"
+
+    # ------------------------------------------------------------------
+    # im2col / col2im / pooling windows
+    # ------------------------------------------------------------------
+    def _im2col(self, x: np.ndarray, kh: int, kw: int, stride: int,
+                pad: int) -> Tuple[np.ndarray, int, int]:
+        """Unfold ``x`` (N, C, H, W) into columns (N, C*kh*kw, OH*OW)
+        by copying one strided window view in a single pass."""
+        if pad > 0:
+            x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+        x = np.ascontiguousarray(x)
+        n, c = x.shape[:2]
+        view, oh, ow = _window_view(x, kh, kw, stride)
+        # reshape of the overlapping view materialises the copy.
+        return view.reshape(n, c * kh * kw, oh * ow), oh, ow
+
+    def _col2im(self, cols: np.ndarray, x_shape: Tuple[int, int, int, int],
+                kh: int, kw: int, stride: int, pad: int) -> np.ndarray:
+        """Fold columns (N, C*kh*kw, OH*OW) back into an image of shape
+        ``x_shape``, accumulating overlaps (im2col adjoint).
+
+        Overlapping windows make the adjoint a scatter-add, which a
+        strided view cannot express safely (the same output element
+        would be written through several aliases); the accumulation
+        loops over the kh*kw kernel positions and stays vectorised over
+        batch and spatial dims, like the reference kernel.
+        """
+        n, c, h, w = x_shape
+        hp, wp = h + 2 * pad, w + 2 * pad
+        oh = (hp - kh) // stride + 1
+        ow = (wp - kw) // stride + 1
+        cols = cols.reshape(n, c, kh, kw, oh, ow)
+        x = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+        for i in range(kh):
+            i_end = i + stride * oh
+            for j in range(kw):
+                j_end = j + stride * ow
+                x[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, i, j]
+        if pad > 0:
+            x = x[:, :, pad:-pad, pad:-pad]
+        return x
+
+    def _pool_windows(self, x: np.ndarray, k: int,
+                      stride: int) -> np.ndarray:
+        """View ``x`` (N, C, H, W) as windows (N, C, k*k, OH, OW) via
+        one strided-view copy."""
+        x = np.ascontiguousarray(x)
+        n, c = x.shape[:2]
+        view, oh, ow = _window_view(x, k, k, stride)
+        return view.reshape(n, c, k * k, oh, ow)
+
+    # ------------------------------------------------------------------
+    # batched bit-serial crossbar VMM
+    # ------------------------------------------------------------------
+    def _engine_vmm(self, xq: np.ndarray, op: EngineOperands) -> np.ndarray:
+        """Batched crossbar VMM: quantized inputs (N, rows) ->
+        integer-domain outputs (N, cols).
+
+        With an ideal ADC the bit-serial accumulation telescopes
+        exactly (``sum_b 2^b x_bit = x``), so the analog term is one
+        contraction of the group-reshaped inputs against the cached
+        sign-folded CRW. A finite-resolution ADC must convert each
+        (input bit, offset group) current separately; that path loops
+        over the ``input_bits`` bit planes only and contracts all
+        groups, columns and cell significances in batched einsums.
+        """
+        xqf = xq.astype(np.float64)
+        gx = op.group_input_sums(xqf)                       # (N, k)
+
+        if op.adc.ideal:
+            z = np.einsum("nkm,kmc->nc", op.grouped_inputs(xqf),
+                          op.signed_crw_grouped, optimize=True)
+        else:
+            n = xq.shape[0]
+            cells_g = op.cells_grouped                      # (k, m, c, s)
+            z_groups = np.zeros((n, op.n_groups, op.cols))
+            for bit in range(op.input_bits):
+                x_bit = ((xq >> bit) & 1).astype(np.float64)
+                drive = op.grouped_inputs(x_bit)            # (N, k, m)
+                currents = np.einsum("nkm,kmcs->nkcs", drive, cells_g,
+                                     optimize=True)
+                converted = op.adc.convert(currents)
+                z_groups += float(1 << bit) * np.einsum(
+                    "nkcs,s->nkc", converted, op.significance,
+                    optimize=True)
+            z = np.einsum("nkc,kc->nc", z_groups, op.sign, optimize=True)
+
+        # Digital offset + complement folded into one matmul (Eq. 7),
+        # then the ISAAC zero-point correction.
+        z = z + gx @ op.offset_gain
+        total_x = xqf.sum(axis=1, keepdims=True)
+        return z - op.weight_zero_point * total_x

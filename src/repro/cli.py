@@ -31,6 +31,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from pathlib import Path
 from typing import Any, List, Optional
 
 from repro import __version__
@@ -60,6 +61,13 @@ def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
                         "are bit-identical either way (default: 0)")
 
 
+def _add_backend_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--backend", default=None, metavar="NAME",
+                   help="compute backend for all kernels (e.g. vectorized, "
+                        "reference); default: $REPRO_BACKEND or vectorized. "
+                        "Every backend is numerically interchangeable")
+
+
 def _add_train(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("train", help="train (and cache) a workload")
     p.add_argument("--workload", default="lenet",
@@ -68,6 +76,7 @@ def _add_train(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--dva-sigma", type=float, default=None,
                    help="train with DVA variation injection at this sigma")
+    _add_backend_arg(p)
     _add_profile_args(p)
 
 
@@ -88,6 +97,7 @@ def _add_deploy(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--saf", type=float, nargs=2, metavar=("SA0", "SA1"),
                    default=None, help="stuck-at fault rates")
     _add_jobs_arg(p)
+    _add_backend_arg(p)
     _add_profile_args(p)
 
 
@@ -99,6 +109,7 @@ def _add_experiment(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--preset", default="quick", choices=["quick", "full"])
     p.add_argument("--trials", type=int, default=2)
     _add_jobs_arg(p)
+    _add_backend_arg(p)
     _add_profile_args(p)
 
 
@@ -119,12 +130,15 @@ def _add_obs(sub: argparse._SubParsersAction) -> None:
 # ----------------------------------------------------------------------
 # profiling plumbing
 # ----------------------------------------------------------------------
-def _profile_begin(args: argparse.Namespace) -> bool:
+def _profile_begin(args: argparse.Namespace, command: str) -> bool:
     """Enable the obs layer for a ``--profile`` run.
 
     Sets ``REPRO_OBS`` *before* the heavy modules are imported (the
     command handlers import lazily), so decorator-form spans on the hot
-    kernels activate too, then turns the dynamic switch on.
+    kernels activate too, then turns the dynamic switch on. Spans
+    stream straight to ``<obs-dir>/<command>-spans.jsonl`` as they
+    close, so a long ``full``-preset run never buffers its trace in
+    memory (and a crash still leaves the trace on disk).
     """
     if not getattr(args, "profile", False):
         return False
@@ -133,6 +147,8 @@ def _profile_begin(args: argparse.Namespace) -> bool:
     args._obs_was_active = obs.enabled()
     obs.enable()
     obs.reset()
+    obs.trace.TRACER.stream_to(
+        Path(args.obs_dir) / f"{command}-spans.jsonl")
     return True
 
 
@@ -155,7 +171,7 @@ def _profile_end(args: argparse.Namespace, command: str,
 # command handlers
 # ----------------------------------------------------------------------
 def _cmd_train(args: argparse.Namespace) -> int:
-    profiling = _profile_begin(args)
+    profiling = _profile_begin(args, "train")
     from repro.eval.experiments import build_workload
 
     override = None
@@ -180,7 +196,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 
 def _cmd_deploy(args: argparse.Namespace) -> int:
-    profiling = _profile_begin(args)
+    profiling = _profile_begin(args, "deploy")
     from repro.core import DeployConfig, Deployer
     from repro.device.cell import MLC2, SLC
     from repro.eval import evaluate_deployment, ideal_accuracy
@@ -216,7 +232,7 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    profiling = _profile_begin(args)
+    profiling = _profile_begin(args, f"experiment-{args.name}")
     from repro.eval import experiments as ex
 
     def finish(code: int = 0) -> int:
@@ -291,6 +307,9 @@ def _cmd_info(_args: argparse.Namespace) -> int:
           "repro obs summarize")
     _echo("parallelism:   --jobs/-j on deploy/experiment "
           "(repro.parallel, bit-identical to serial)")
+    from repro.backend import available_backends, default_backend_name
+    _echo(f"backends:      {', '.join(available_backends())} "
+          f"(active: {default_backend_name()}; REPRO_BACKEND / --backend)")
     return 0
 
 
@@ -310,6 +329,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub.add_parser("info", help="library and environment information")
 
     args = parser.parse_args(argv)
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        from repro.backend import available_backends
+        if backend not in available_backends():
+            parser.error(f"unknown backend {backend!r} "
+                         f"(registered: {', '.join(available_backends())})")
+        # Exported through the environment (not set_default_backend) so
+        # --jobs worker processes inherit the same kernel set.
+        os.environ["REPRO_BACKEND"] = backend
     handlers = {
         "train": _cmd_train,
         "deploy": _cmd_deploy,

@@ -89,6 +89,9 @@ class _CrossbarBase(Module):
         comp_rows = plan.expand(self.complement_mask.astype(np.float64))
         self._sign = 1.0 - 2.0 * comp_rows
         self._const = comp_rows * self.qmax
+        # Row -> group map, cached: plan.group_index builds an arange on
+        # every access and the forward pass indexes with it each call.
+        self._group_index = plan.group_index
 
     @property
     def qmax(self) -> int:
@@ -104,7 +107,7 @@ class _CrossbarBase(Module):
     def effective_weight_matrix(self) -> Tensor:
         """The float (rows, cols) weight matrix, differentiable in b."""
         v = Tensor(self.crw)
-        b_exp = self.offsets[self.plan.group_index]          # (rows, cols)
+        b_exp = self.offsets[self._group_index]              # (rows, cols)
         q_eff = (v + b_exp) * self._sign + self._const
         return (q_eff - float(self.weight_zero_point)) * self.weight_scale
 
@@ -118,8 +121,13 @@ class _CrossbarBase(Module):
         self.offsets.data[...] = np.clip(np.round(self.offsets.data),
                                          -half, half - 1)
 
-    def make_engine(self, adc: Optional[ADC] = None) -> CrossbarEngine:
-        """A bit-accurate engine view of this layer's current state."""
+    def make_engine(self, adc: Optional[ADC] = None,
+                    backend: Optional[str] = None) -> CrossbarEngine:
+        """A bit-accurate engine view of this layer's current state.
+
+        ``backend`` selects the compute backend the engine dispatches
+        to (``None`` follows the process default).
+        """
         input_scale = (self.input_quantizer.scale
                        if self.input_quantizer is not None else 1.0)
         input_bits = (self.input_quantizer.n_bits
@@ -131,7 +139,7 @@ class _CrossbarBase(Module):
             weight_bits=self.weight_bits, input_bits=input_bits,
             weight_scale=self.weight_scale,
             weight_zero_point=self.weight_zero_point,
-            input_scale=input_scale, adc=adc)
+            input_scale=input_scale, adc=adc, backend=backend)
 
     def _quantize_input(self, x: Tensor) -> Tensor:
         if self.input_quantizer is None:

@@ -2,8 +2,12 @@
 
 Convolution and pooling are implemented as autograd primitives (with
 hand-written backward passes over im2col buffers) because composing them
-from elementwise ops would be prohibitively slow in numpy. Everything
-here is validated against finite differences in ``tests/nn``.
+from elementwise ops would be prohibitively slow in numpy. The window
+kernels themselves (im2col / col2im / pooling windows) are *not*
+implemented here: they dispatch to the active compute backend
+(:func:`repro.backend.get_backend`), so the same autograd graph runs on
+the loop-based reference kernels or the vectorized ones unchanged.
+Everything here is validated against finite differences in ``tests/nn``.
 """
 
 from __future__ import annotations
@@ -12,53 +16,30 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.nn.tensor import Tensor
 from repro.utils.contracts import check_shapes
 from repro.utils.rng import make_rng
 
 
 # ----------------------------------------------------------------------
-# im2col / col2im
+# im2col / col2im (dispatched to the active backend)
 # ----------------------------------------------------------------------
 def im2col(x: np.ndarray, kh: int, kw: int, stride: int,
            pad: int) -> Tuple[np.ndarray, int, int]:
     """Unfold ``x`` (N, C, H, W) into columns (N, C*kh*kw, OH*OW).
 
-    The loop is over the ``kh * kw`` kernel positions only (a handful of
-    iterations); each iteration copies a strided view, so the whole
-    operation is vectorised over batch and spatial dims.
+    Thin dispatch wrapper: the actual kernel belongs to the active
+    compute backend (``REPRO_BACKEND`` / ``--backend``).
     """
-    if pad > 0:
-        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
-    n, c, h, w = x.shape
-    oh = (h - kh) // stride + 1
-    ow = (w - kw) // stride + 1
-    cols = np.empty((n, c, kh, kw, oh, ow), dtype=x.dtype)
-    for i in range(kh):
-        i_end = i + stride * oh
-        for j in range(kw):
-            j_end = j + stride * ow
-            cols[:, :, i, j] = x[:, :, i:i_end:stride, j:j_end:stride]
-    return cols.reshape(n, c * kh * kw, oh * ow), oh, ow
+    return get_backend().im2col(x, kh, kw, stride, pad)
 
 
 def col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int], kh: int,
            kw: int, stride: int, pad: int) -> np.ndarray:
-    """Fold columns back into an image, accumulating overlaps (im2col adjoint)."""
-    n, c, h, w = x_shape
-    hp, wp = h + 2 * pad, w + 2 * pad
-    oh = (hp - kh) // stride + 1
-    ow = (wp - kw) // stride + 1
-    cols = cols.reshape(n, c, kh, kw, oh, ow)
-    x = np.zeros((n, c, hp, wp), dtype=cols.dtype)
-    for i in range(kh):
-        i_end = i + stride * oh
-        for j in range(kw):
-            j_end = j + stride * ow
-            x[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, i, j]
-    if pad > 0:
-        x = x[:, :, pad:-pad, pad:-pad]
-    return x
+    """Fold columns back into an image of shape ``x_shape``,
+    accumulating overlaps (im2col adjoint); dispatched to the backend."""
+    return get_backend().col2im(cols, x_shape, kh, kw, stride, pad)
 
 
 # ----------------------------------------------------------------------
@@ -100,19 +81,9 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
 # pooling
 # ----------------------------------------------------------------------
 def _pool_windows(x: np.ndarray, k: int, stride: int) -> np.ndarray:
-    """View ``x`` (N, C, H, W) as windows (N, C, k*k, OH, OW)."""
-    n, c, h, w = x.shape
-    oh = (h - k) // stride + 1
-    ow = (w - k) // stride + 1
-    windows = np.empty((n, c, k * k, oh, ow), dtype=x.dtype)
-    idx = 0
-    for i in range(k):
-        i_end = i + stride * oh
-        for j in range(k):
-            j_end = j + stride * ow
-            windows[:, :, idx] = x[:, :, i:i_end:stride, j:j_end:stride]
-            idx += 1
-    return windows
+    """View ``x`` (N, C, H, W) as windows (N, C, k*k, OH, OW);
+    dispatched to the active backend."""
+    return get_backend().pool_windows(x, k, stride)
 
 
 @check_shapes("(n,c,_,_)->(n,c,_,_)", arg_names=["x"])

@@ -1,0 +1,42 @@
+"""Observability layer: metrics, wall-time spans, and run manifests.
+
+Three pieces, all process-local and dependency-free:
+
+``repro.obs.metrics``
+    Thread-safe counters / gauges / histograms behind one registry.
+``repro.obs.trace``
+    Nested wall-time spans (``perf_counter``); ``span`` works as a
+    context manager *and* a decorator.
+``repro.obs.exporters`` / ``repro.obs.manifest``
+    JSONL span dumps and a single structured run-manifest JSON
+    (preset, seed, git revision, environment, per-stage timings,
+    metric totals). Long runs stream spans to the JSONL file as they
+    close (``trace.TRACER.stream_to``) instead of buffering them.
+
+The layer is **zero-cost when disabled** (the default): with
+``REPRO_OBS`` unset, the ``span`` decorator returns the decorated
+function unchanged and every metric helper is one flag read. Enable it
+with ``REPRO_OBS=1``, the CLI's ``--profile`` flag, or
+:func:`repro.obs.enable` at runtime. ``repro obs summarize
+<manifest.json>`` renders a recorded run as per-stage tables.
+"""
+
+from repro.obs import metrics, trace
+from repro.obs.exporters import export_run, write_spans_jsonl
+from repro.obs.manifest import build_manifest, stage_totals
+from repro.obs.runtime import disable, enable, enabled, env_enabled
+from repro.obs.summary import render_summary, summarize_file
+from repro.obs.trace import SpanSink, span
+
+
+def reset() -> None:
+    """Clear all recorded spans and metrics (tests; between CLI runs)."""
+    trace.TRACER.reset()
+    metrics.REGISTRY.reset()
+
+
+__all__ = [
+    "metrics", "trace", "span", "SpanSink", "enabled", "enable", "disable",
+    "env_enabled", "reset", "export_run", "write_spans_jsonl",
+    "build_manifest", "stage_totals", "render_summary", "summarize_file",
+]

@@ -1,0 +1,69 @@
+"""Dump a run's spans and metrics to disk (JSONL + manifest JSON).
+
+The canonical layout next to a run's results is::
+
+    <out_dir>/<stem>-spans.jsonl      one span record per line
+    <out_dir>/<stem>-manifest.json    the structured run manifest
+
+:func:`export_run` snapshots the process-wide tracer and metrics
+registry; pass ``reset=True`` (the CLI default) to clear both after the
+export so back-to-back runs in one process do not bleed into each
+other.
+
+If the tracer is *streaming* (``TRACER.stream_to`` — the CLI starts a
+stream whenever ``--obs-dir`` is set), spans are already on disk: the
+export finalizes the stream, reuses its file, and builds the manifest
+from the sink's running summary instead of re-reading the records.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Sequence
+
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.obs.manifest import build_manifest
+from repro.utils.serialization import PathLike, save_json, write_jsonl
+
+
+def write_spans_jsonl(path: PathLike,
+                      spans: Sequence[Mapping[str, Any]]) -> Path:
+    """Write span records as JSONL; returns the path written."""
+    return write_jsonl(path, spans)
+
+
+def export_run(out_dir: PathLike, command: str,
+               argv: Optional[Sequence[str]] = None,
+               preset: Optional[str] = None,
+               seed: Optional[int] = None,
+               extra: Optional[Mapping[str, Any]] = None,
+               stem: Optional[str] = None,
+               reset: bool = False) -> Dict[str, Path]:
+    """Export the current tracer/metrics state as one run's artifacts.
+
+    Returns ``{"manifest": Path, "spans": Path}``. ``stem`` defaults to
+    a filesystem-safe version of ``command``.
+    """
+    out = Path(out_dir)
+    stem = stem or "".join(c if c.isalnum() or c in "-_." else "-"
+                           for c in command) or "run"
+    snapshot = _metrics.REGISTRY.snapshot()
+    sink = _trace.TRACER.end_stream()
+    if sink is not None:
+        spans_path = sink.path
+        document = build_manifest(
+            command, argv=argv, preset=preset, seed=seed,
+            stream_summary=sink.summary(), metrics_snapshot=snapshot,
+            spans_file=spans_path.name, extra=extra)
+    else:
+        spans = _trace.TRACER.records()
+        spans_path = write_spans_jsonl(out / f"{stem}-spans.jsonl", spans)
+        document = build_manifest(
+            command, argv=argv, preset=preset, seed=seed, spans=spans,
+            metrics_snapshot=snapshot, spans_file=spans_path.name, extra=extra)
+    manifest_path = save_json(out / f"{stem}-manifest.json", document)
+    if reset:
+        _trace.TRACER.reset()
+        _metrics.REGISTRY.reset()
+    return {"manifest": manifest_path, "spans": spans_path}

@@ -1,0 +1,188 @@
+"""Process-local metrics: counters, gauges and histograms.
+
+The registry is a plain thread-safe in-memory store; nothing is pushed
+anywhere. Library code records through the module-level helpers
+(:func:`inc`, :func:`gauge`, :func:`observe`), which consult the
+:mod:`repro.obs.runtime` switch first — with observability off each
+call is a single attribute read and an early return.
+
+Histograms keep running aggregates (count/total/min/max/last) plus the
+raw value sequence up to :data:`SERIES_CAP` points, so slowly-evolving
+curves (the PWT per-epoch offset loss, trainer epoch accuracy) survive
+into the run manifest without unbounded memory growth.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.obs import runtime
+
+Number = Union[int, float]
+
+#: Maximum raw observations a histogram retains (aggregates keep going).
+SERIES_CAP = 4096
+
+
+class Histogram:
+    """Running aggregates plus a capped raw series of one metric."""
+
+    __slots__ = ("count", "total", "min", "max", "last", "series",
+                 "truncated")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.last: Optional[float] = None
+        self.series: List[float] = []
+        self.truncated = False
+
+    def observe(self, value: Number) -> None:
+        v = float(value)
+        self.count += 1
+        self.total += v
+        self.min = v if self.min is None else min(self.min, v)
+        self.max = v if self.max is None else max(self.max, v)
+        self.last = v
+        if len(self.series) < SERIES_CAP:
+            self.series.append(v)
+        else:
+            self.truncated = True
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one.
+
+        Aggregates (count/total/min/max) combine exactly; ``last`` takes
+        the merged snapshot's value (the merge happens after those
+        observations); the raw series is extended up to ``SERIES_CAP``
+        and ``truncated`` records any overflow. Used to merge worker-
+        process registries back into the parent.
+        """
+        count = int(snapshot.get("count", 0))
+        if count == 0:
+            return
+        self.count += count
+        self.total += float(snapshot.get("total", 0.0))
+        for other, pick in ((snapshot.get("min"), min),
+                            (snapshot.get("max"), max)):
+            if other is not None:
+                current = self.min if pick is min else self.max
+                merged = float(other) if current is None \
+                    else pick(current, float(other))
+                if pick is min:
+                    self.min = merged
+                else:
+                    self.max = merged
+        if snapshot.get("last") is not None:
+            self.last = float(snapshot["last"])
+        series = list(snapshot.get("series", ()))
+        room = SERIES_CAP - len(self.series)
+        self.series.extend(float(v) for v in series[:room])
+        if snapshot.get("truncated") or len(series) > room:
+            self.truncated = True
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "count": self.count, "total": self.total, "mean": self.mean,
+            "min": self.min, "max": self.max, "last": self.last,
+            "series": list(self.series), "truncated": self.truncated,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe named counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def inc(self, name: str, value: Number = 1) -> None:
+        """Add ``value`` to the counter ``name`` (created at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + float(value)
+
+    def gauge(self, name: str, value: Number) -> None:
+        """Set the gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: Number) -> None:
+        """Record one observation into the histogram ``name``."""
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram()
+            hist.observe(value)
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a foreign registry :meth:`snapshot` into this registry.
+
+        Counters add, gauges take the snapshot's value (last write
+        wins), histograms merge via :meth:`Histogram.merge`. This is how
+        :mod:`repro.parallel` folds each worker process's metrics back
+        into the parent so ``--profile`` manifests stay complete.
+        """
+        with self._lock:
+            for name, value in snapshot.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0.0) \
+                    + float(value)
+            for name, value in snapshot.get("gauges", {}).items():
+                self._gauges[name] = float(value)
+            for name, hist_snap in snapshot.get("histograms", {}).items():
+                hist = self._histograms.get(name)
+                if hist is None:
+                    hist = self._histograms[name] = Histogram()
+                hist.merge(hist_snap)
+
+    def counter_value(self, name: str) -> float:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0.0)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-able copy of everything recorded so far."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {name: h.snapshot()
+                               for name, h in self._histograms.items()},
+            }
+
+    def reset(self) -> None:
+        """Drop all recorded values (tests; the CLI between runs)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: The process-wide registry all library instrumentation writes to.
+REGISTRY = MetricsRegistry()
+
+
+def inc(name: str, value: Number = 1) -> None:
+    """Increment a counter — no-op (one flag read) when obs is off."""
+    if runtime._STATE.active:
+        REGISTRY.inc(name, value)
+
+
+def gauge(name: str, value: Number) -> None:
+    """Set a gauge — no-op (one flag read) when obs is off."""
+    if runtime._STATE.active:
+        REGISTRY.gauge(name, value)
+
+
+def observe(name: str, value: Number) -> None:
+    """Histogram observation — no-op (one flag read) when obs is off."""
+    if runtime._STATE.active:
+        REGISTRY.observe(name, value)

@@ -1,0 +1,56 @@
+"""Process-wide observability switch (``REPRO_OBS``).
+
+Every obs entry point pays one attribute read when observability is
+off, and the :func:`repro.obs.trace.span` *decorator* pays nothing at
+all (it returns the function unchanged when the environment says off at
+decoration time — the same zero-cost contract as
+:mod:`repro.utils.contracts`).
+
+The switch is deliberately dynamic on top of the environment default:
+``repro deploy --profile`` enables collection from inside the process
+(:func:`enable`) even when ``REPRO_OBS`` was unset at startup, and
+tests flip it on/off without touching ``os.environ``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def env_enabled(env: Optional[str] = None) -> bool:
+    """Whether ``REPRO_OBS`` asks for observability (truthy values only).
+
+    ``env`` overrides the environment lookup (for tests).
+    """
+    value = os.environ.get("REPRO_OBS", "") if env is None else env
+    return value.strip().lower() in _TRUTHY
+
+
+class _State:
+    """One mutable bool behind a slot — the cheapest dynamic flag."""
+
+    __slots__ = ("active",)
+
+    def __init__(self, active: bool) -> None:
+        self.active = active
+
+
+_STATE = _State(env_enabled())
+
+
+def enabled() -> bool:
+    """Whether metric/span collection is currently active."""
+    return _STATE.active
+
+
+def enable() -> None:
+    """Turn collection on for the rest of the process (or until off)."""
+    _STATE.active = True
+
+
+def disable() -> None:
+    """Turn collection off."""
+    _STATE.active = False

@@ -1,0 +1,76 @@
+"""Human-readable rendering of a run manifest (``repro obs summarize``).
+
+Turns the per-stage wall-time totals and the metric snapshot of a
+manifest JSON into fixed-width tables. Pure string building — no I/O
+except :func:`summarize_file`'s manifest load.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping
+
+from repro.utils.serialization import PathLike, load_json
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:9.3f} s "
+    return f"{value * 1e3:9.3f} ms"
+
+
+def render_summary(manifest: Mapping[str, Any]) -> str:
+    """Render one manifest as a per-stage time table + metric totals."""
+    lines: List[str] = []
+    command = manifest.get("command", "?")
+    lines.append(f"run manifest — {command}")
+    for key in ("preset", "seed", "git_revision", "wall_time_s"):
+        value = manifest.get(key)
+        if value is not None:
+            shown = f"{value:.3f}" if key == "wall_time_s" else str(value)
+            lines.append(f"  {key}: {shown}")
+    env = manifest.get("environment") or {}
+    if env:
+        lines.append(f"  repro {env.get('repro_version', '?')} / "
+                     f"python {env.get('python', '?')} / "
+                     f"numpy {env.get('numpy', '?')}")
+
+    stages = manifest.get("stages") or {}
+    wall = manifest.get("wall_time_s") or 0.0
+    if stages:
+        lines.append("")
+        lines.append(f"{'stage':<32}{'calls':>7}{'total':>13}{'share':>8}")
+        order = sorted(stages.items(),
+                       key=lambda item: item[1].get("total_s", 0.0),
+                       reverse=True)
+        for name, entry in order:
+            total = entry.get("total_s", 0.0)
+            share = f"{total / wall:6.1%}" if wall > 0 else "     -"
+            lines.append(f"{name:<32}{entry.get('count', 0):>7}"
+                         f"{_fmt_seconds(total):>13}{share:>8}")
+    else:
+        lines.append("")
+        lines.append("(no spans recorded — run with REPRO_OBS=1 or --profile)")
+
+    metric_block = manifest.get("metrics") or {}
+    counters = metric_block.get("counters") or {}
+    gauges = metric_block.get("gauges") or {}
+    histograms = metric_block.get("histograms") or {}
+    if counters or gauges or histograms:
+        lines.append("")
+        lines.append(f"{'metric':<40}{'value':>18}")
+        for name in sorted(counters):
+            lines.append(f"{name:<40}{counters[name]:>18g}")
+        for name in sorted(gauges):
+            lines.append(f"{name + ' (gauge)':<40}{gauges[name]:>18g}")
+        for name in sorted(histograms):
+            hist = histograms[name]
+            shown = (f"n={hist.get('count', 0)} mean={hist.get('mean'):.4g} "
+                     f"last={hist.get('last'):.4g}"
+                     if hist.get("count") else "n=0")
+            lines.append(f"{name + ' (hist)':<40}{shown:>18}")
+    return "\n".join(lines)
+
+
+def summarize_file(path: PathLike) -> str:
+    """Load a manifest JSON from ``path`` and render its summary."""
+    return render_summary(load_json(path))

@@ -29,13 +29,9 @@ def slice_weights(values: np.ndarray, n_bits: int, cell_bits: int) -> np.ndarray
     if np.any(values < 0) or np.any(values > (1 << n_bits) - 1):
         raise ValueError(f"values out of range for {n_bits}-bit weights")
     k = num_cells(n_bits, cell_bits)
-    radix = 1 << cell_bits
-    digits = np.empty(values.shape + (k,), dtype=np.int64)
-    remaining = values.astype(np.int64)
-    for i in range(k):
-        digits[..., i] = remaining % radix
-        remaining = remaining // radix
-    return digits
+    shifts = np.arange(k, dtype=np.int64) * cell_bits
+    mask = (1 << cell_bits) - 1
+    return (values.astype(np.int64)[..., None] >> shifts) & mask
 
 
 def assemble_weights(digits: np.ndarray, cell_bits: int) -> np.ndarray:
@@ -46,10 +42,8 @@ def assemble_weights(digits: np.ndarray, cell_bits: int) -> np.ndarray:
     """
     digits = np.asarray(digits)
     k = digits.shape[-1]
-    weights = np.zeros(digits.shape[:-1], dtype=np.float64)
-    for i in range(k):
-        weights += digits[..., i] * float(1 << (cell_bits * i))
-    return weights
+    significances = cell_significances(k * cell_bits, cell_bits)   # (k,)
+    return digits.astype(np.float64) @ significances
 
 
 def cell_significances(n_bits: int, cell_bits: int) -> np.ndarray:

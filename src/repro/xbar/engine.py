@@ -12,6 +12,15 @@ This models the full ISAAC-style datapath of Fig. 1(b) and Fig. 4:
   (Section III-C);
 * the ISAAC weight shift subtracts ``zero_point * sum(x)`` at the end.
 
+The engine owns the *semantics* of this pipeline; the arithmetic itself
+is executed by the active compute backend
+(:func:`repro.backend.get_backend` — the loop-based ``reference``
+kernels or the batched ``vectorized`` ones). All forward-invariant
+state (cell tensor, significances, registers, complement algebra) is
+precomputed once at construction into
+:class:`repro.backend.EngineOperands`, so repeated ``forward`` calls
+recompute nothing.
+
 With an ideal ADC the result equals the fast float path used by
 :mod:`repro.core.crossbar_layers` exactly (up to float rounding) — the
 equivalence is asserted in the test suite. With a finite-resolution ADC
@@ -27,6 +36,7 @@ import numpy as np
 
 from typing import TYPE_CHECKING
 
+from repro.backend import EngineOperands, get_backend
 from repro.device.cell import CellType
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
@@ -61,6 +71,9 @@ class CrossbarEngine:
         Dequantization parameters.
     adc:
         ADC applied to every cell-column group current.
+    backend:
+        Compute-backend name executing the kernels; ``None`` follows
+        the process default (``REPRO_BACKEND`` / ``--backend``).
     """
 
     cells: np.ndarray
@@ -74,6 +87,7 @@ class CrossbarEngine:
     weight_zero_point: int = 0
     input_scale: float = 1.0
     adc: Optional[ADC] = None
+    backend: Optional[str] = None
 
     def __post_init__(self):
         rows, cols, n_cells = self.cells.shape
@@ -86,9 +100,18 @@ class CrossbarEngine:
             raise ValueError(f"complement mask must be {expected}")
         if self.adc is None:
             self.adc = ADC()
+        if self.backend is not None:
+            get_backend(self.backend)    # unknown names fail at build time
         self._significance = cell_significances(self.weight_bits, self.cell.bits)
         if len(self._significance) != n_cells:
             raise ValueError("cell count inconsistent with bit widths")
+        # Forward-invariant operand cache shared by all backends.
+        self._operands = EngineOperands(
+            cells=self.cells, significance=self._significance,
+            registers=self.registers, complement=self.complement,
+            granularity=self.plan.granularity, input_bits=self.input_bits,
+            weight_qmax=self.weight_qmax,
+            weight_zero_point=self.weight_zero_point, adc=self.adc)
 
     @property
     def weight_qmax(self) -> int:
@@ -108,56 +131,29 @@ class CrossbarEngine:
     @check_shapes("(...,r)->(_,c)", arg_names=["x"])
     @span("xbar.engine.forward")
     def forward(self, x: np.ndarray) -> np.ndarray:
-        """Run the full pipeline on float activations (N, rows) -> (N, cols)."""
+        """Run the full pipeline on float activations (N, rows) -> (N, cols).
+
+        Quantizes the inputs, hands the integer-domain VMM (bit-serial
+        accumulation + Eq. 7 offset/complement post-processing + the
+        ISAAC zero-point correction) to the active backend's
+        ``engine_vmm`` kernel over the cached operands, then
+        dequantizes.
+        """
         x = np.atleast_2d(np.asarray(x, dtype=np.float64))
         obs_metrics.inc("xbar.engine.vmm_batches", x.shape[0])
         xq = self.quantize_inputs(x)                        # (N, rows)
-        n, rows = xq.shape
-        m = self.plan.granularity
-        k = self.plan.n_groups
-        cols = self.plan.cols
-
-        # Per-group integer input sums (the adder-tree outputs).
-        group_x_sum = self.plan.group_sum(xq.astype(np.float64))  # (N, k)
-
-        # Bit-serial, group-at-a-time analog accumulation.
-        z_groups = np.zeros((n, k, cols))
-        for bit in range(self.input_bits):
-            x_bit = ((xq >> bit) & 1).astype(np.float64)    # (N, rows)
-            weight = float(1 << bit)
-            for gi in range(k):
-                lo = gi * m
-                hi = min(lo + m, rows)
-                drive = x_bit[:, lo:hi]                     # (N, mg)
-                cells_g = self.cells[lo:hi]                 # (mg, cols, n_cells)
-                # One ADC conversion per cell column per cycle.
-                currents = np.einsum("nr,rck->nck", drive, cells_g,
-                                     optimize=True)
-                converted = self.adc.convert(currents)
-                z_groups[:, gi, :] += weight * (converted @ self._significance)
-
-        # Digital offset path: b_g * sum(x in group g).
-        z_groups += group_x_sum[:, :, None] * self.registers[None, :, :]
-
-        # Complement post-processing per group.
-        comp = self.complement[None, :, :]
-        full = self.weight_qmax * group_x_sum[:, :, None]
-        z_groups = np.where(comp, full - z_groups, z_groups)
-
-        # Sum groups, undo the ISAAC weight shift, dequantize.
-        z = z_groups.sum(axis=1)                            # (N, cols)
-        total_x = xq.sum(axis=1, keepdims=True).astype(np.float64)
-        z = z - self.weight_zero_point * total_x
+        z = get_backend(self.backend).engine_vmm(xq, self._operands)
         return self.input_scale * self.weight_scale * z
 
     def effective_weights(self) -> np.ndarray:
         """The float (rows, cols) weight matrix this engine implements
         (ideal-ADC view).
 
-        Reassembles noisy cells into CRWs, applies offsets and
-        complement, and dequantizes — the fast evaluation path's W.
+        Reassembles noisy cells into CRWs (cached on the engine's
+        operands), applies offsets and complement, and dequantizes —
+        the fast evaluation path's W.
         """
-        crw = self.cells @ self._significance               # (rows, cols)
+        crw = self._operands.crw                            # (rows, cols)
         q_eff = crw + self.plan.expand(self.registers)
         comp_rows = self.plan.expand(self.complement.astype(np.float64))
         q_eff = comp_rows * (self.weight_qmax - q_eff) + (1 - comp_rows) * q_eff

@@ -37,9 +37,12 @@ class TiledCrossbarEngine:
                  cell: CellType, mapper: Optional[CrossbarMapper] = None,
                  weight_bits: int = 8, input_bits: int = 8,
                  weight_scale: float = 1.0, weight_zero_point: int = 0,
-                 input_scale: float = 1.0, adc: Optional[ADC] = None):
+                 input_scale: float = 1.0, adc: Optional[ADC] = None,
+                 backend: Optional[str] = None):
         """Split the (rows, cols, n_cells) cell array into tiles and
-        build one :class:`CrossbarEngine` per tile."""
+        build one :class:`CrossbarEngine` per tile; every tile engine
+        dispatches to the same compute ``backend`` (``None`` follows
+        the process default)."""
         from repro.core.offsets import OffsetPlan
 
         rows, cols, n_cells = cells.shape
@@ -50,6 +53,7 @@ class TiledCrossbarEngine:
                 "sharing granularity (offset groups must not straddle tiles)")
         self.plan = plan
         self.mapper = mapper
+        self.backend = backend
         self.tiles: List[TileSpec] = mapper.tiles(rows, cols)
         self._engines: List[CrossbarEngine] = []
         m = plan.granularity
@@ -66,7 +70,7 @@ class TiledCrossbarEngine:
                 cell=cell, weight_bits=weight_bits, input_bits=input_bits,
                 weight_scale=weight_scale,
                 weight_zero_point=weight_zero_point,
-                input_scale=input_scale, adc=adc))
+                input_scale=input_scale, adc=adc, backend=backend))
 
     @property
     def crossbar_count(self) -> int:
@@ -78,7 +82,8 @@ class TiledCrossbarEngine:
         (N, rows) activations -> (N, cols) outputs."""
         x = np.atleast_2d(np.asarray(x, dtype=np.float64))
         obs_metrics.inc("xbar.tiled.vmm_batches", x.shape[0])
-        with span("xbar.tiled.forward", tiles=len(self.tiles)):
+        with span("xbar.tiled.forward", tiles=len(self.tiles),
+                  backend=self.backend or "default"):
             out = np.zeros((x.shape[0], self.plan.cols))
             for tile, engine in zip(self.tiles, self._engines):
                 part = engine.forward(x[:, tile.row_start:tile.row_stop])

@@ -1,0 +1,34 @@
+"""Fixtures for the observability tests.
+
+Every test runs against clean process-wide tracer/registry state and
+leaves the dynamic switch the way it found it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import runtime
+
+
+@pytest.fixture
+def obs_on():
+    """Enable collection with empty state; restore on exit."""
+    was_active = runtime.enabled()
+    obs.reset()
+    runtime.enable()
+    yield obs
+    runtime._STATE.active = was_active
+    obs.reset()
+
+
+@pytest.fixture
+def obs_off():
+    """Force collection off with empty state; restore on exit."""
+    was_active = runtime.enabled()
+    obs.reset()
+    runtime.disable()
+    yield obs
+    runtime._STATE.active = was_active
+    obs.reset()

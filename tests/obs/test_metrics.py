@@ -1,0 +1,93 @@
+"""Metrics registry: counters, gauges, histograms, and the off switch."""
+
+import threading
+
+from repro.obs import metrics
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.runtime import env_enabled
+
+
+class TestEnvSwitch:
+    def test_truthy_values(self):
+        for value in ("1", "true", "YES", " on "):
+            assert env_enabled(value)
+
+    def test_falsy_values(self):
+        for value in ("", "0", "false", "off", "nope"):
+            assert not env_enabled(value)
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a", 4)
+        assert reg.counter_value("a") == 5
+        assert reg.counter_value("missing") == 0
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", 1.0)
+        reg.gauge("g", 2.5)
+        assert reg.snapshot()["gauges"]["g"] == 2.5
+
+    def test_histogram_aggregates(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 3.0, 2.0):
+            reg.observe("h", v)
+        hist = reg.snapshot()["histograms"]["h"]
+        assert hist["count"] == 3
+        assert hist["min"] == 1.0 and hist["max"] == 3.0
+        assert hist["last"] == 2.0
+        assert hist["mean"] == 2.0
+        assert hist["series"] == [1.0, 3.0, 2.0]
+
+    def test_histogram_series_cap(self, monkeypatch):
+        monkeypatch.setattr(metrics, "SERIES_CAP", 2)
+        hist = Histogram()
+        for v in (1, 2, 3):
+            hist.observe(v)
+        snap = hist.snapshot()
+        assert snap["count"] == 3 and snap["total"] == 6.0
+        assert len(snap["series"]) == 2 and snap["truncated"]
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.gauge("g", 1)
+        reg.observe("h", 1)
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_thread_safety_of_counters(self):
+        reg = MetricsRegistry()
+
+        def work():
+            for _ in range(1000):
+                reg.inc("n")
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter_value("n") == 4000
+
+
+class TestModuleHelpers:
+    def test_noop_when_disabled(self, obs_off):
+        metrics.inc("c")
+        metrics.gauge("g", 1)
+        metrics.observe("h", 1)
+        snap = metrics.REGISTRY.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_record_when_enabled(self, obs_on):
+        metrics.inc("c", 2)
+        metrics.gauge("g", 7)
+        metrics.observe("h", 0.5)
+        snap = metrics.REGISTRY.snapshot()
+        assert snap["counters"]["c"] == 2
+        assert snap["gauges"]["g"] == 7
+        assert snap["histograms"]["h"]["count"] == 1

@@ -1,0 +1,126 @@
+"""Streamed span export: spans hit disk as they close, memory stays flat."""
+
+import json
+
+from repro.obs import metrics, trace
+from repro.obs.exporters import export_run
+from repro.obs.trace import TRACER, span
+from repro.utils.serialization import load_json, read_jsonl
+
+
+def _read(path):
+    return read_jsonl(path)
+
+
+class TestSpanSink:
+    def test_records_flush_on_close_not_on_open(self, obs_on, tmp_path):
+        path = TRACER.stream_to(tmp_path / "run-spans.jsonl")
+        with span("outer"):
+            with span("inner"):
+                pass
+            # inner closed -> already on disk; outer still open.
+            names = [r["name"] for r in _read(path)]
+            assert names == ["inner"]
+            assert [r["name"] for r in TRACER.records()] == ["outer"]
+        assert [r["name"] for r in _read(path)] == ["inner", "outer"]
+        assert TRACER.records() == []          # nothing retained in memory
+
+    def test_parent_links_survive_streaming(self, obs_on, tmp_path):
+        path = TRACER.stream_to(tmp_path / "run-spans.jsonl")
+        with span("outer"):
+            with span("inner"):
+                pass
+        by_name = {r["name"]: r for r in _read(path)}
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["id"]
+        assert by_name["outer"]["parent_id"] is None
+        assert by_name["inner"]["depth"] == 1
+
+    def test_pre_stream_spans_are_flushed(self, obs_on, tmp_path):
+        with span("before"):
+            pass
+        path = TRACER.stream_to(tmp_path / "run-spans.jsonl")
+        assert [r["name"] for r in _read(path)] == ["before"]
+        assert TRACER.records() == []
+
+    def test_summary_matches_buffered_aggregates(self, obs_on, tmp_path):
+        TRACER.stream_to(tmp_path / "run-spans.jsonl")
+        with span("a"):
+            with span("b"):
+                pass
+        with span("a"):
+            pass
+        sink = TRACER.end_stream()
+        summary = sink.summary()
+        assert summary["n_spans"] == 3
+        assert summary["stages"]["a"]["count"] == 2
+        assert summary["stages"]["b"]["count"] == 1
+        # Only top-level spans contribute to the wall-time total.
+        assert summary["wall_time_s"] >= summary["stages"]["a"]["total_s"]
+        assert summary["wall_time_s"] < (summary["stages"]["a"]["total_s"]
+                                         + summary["stages"]["b"]["total_s"])
+
+    def test_end_stream_flushes_open_spans(self, obs_on, tmp_path):
+        path = TRACER.stream_to(tmp_path / "run-spans.jsonl")
+        token = TRACER.push("leak", {})
+        sink = TRACER.end_stream()
+        rows = _read(path)
+        assert rows[0]["name"] == "leak" and rows[0]["status"] == "open"
+        assert sink.summary()["n_spans"] == 1
+        TRACER.pop(token)            # closing after the drain is a no-op
+        assert TRACER.records() == []
+
+    def test_reset_closes_the_sink(self, obs_on, tmp_path):
+        TRACER.stream_to(tmp_path / "run-spans.jsonl")
+        TRACER.reset()
+        assert TRACER.sink is None
+        assert TRACER.end_stream() is None
+
+    def test_adopted_records_stream_straight_to_disk(self, obs_on, tmp_path):
+        path = TRACER.stream_to(tmp_path / "run-spans.jsonl")
+        TRACER.adopt([{"id": 0, "parent_id": None, "name": "worker.trial",
+                       "depth": 0, "start_s": 0.1, "duration_s": 0.2,
+                       "attrs": {}, "status": "ok", "error": None}],
+                     extra_attrs={"trial": 3})
+        rows = _read(path)
+        assert rows[0]["name"] == "worker.trial"
+        assert rows[0]["attrs"] == {"trial": 3}
+        assert TRACER.records() == []
+
+
+class TestStreamedExportRun:
+    def test_manifest_built_from_sink_summary(self, obs_on, tmp_path):
+        TRACER.stream_to(tmp_path / "deploy-spans.jsonl")
+        with span("deploy.vawo"):
+            with span("vawo.search"):
+                pass
+        metrics.inc("vawo.calls", 2)
+        paths = export_run(tmp_path, "deploy", stem="deploy", reset=True)
+        assert paths["spans"] == tmp_path / "deploy-spans.jsonl"
+        rows = _read(paths["spans"])
+        assert sorted(r["name"] for r in rows) == ["deploy.vawo",
+                                                   "vawo.search"]
+        doc = load_json(paths["manifest"])
+        assert doc["n_spans"] == 2
+        assert doc["spans_file"] == "deploy-spans.jsonl"
+        assert set(doc["stages"]) == {"deploy.vawo", "vawo.search"}
+        assert doc["wall_time_s"] > 0
+        assert doc["metrics"]["counters"]["vawo.calls"] == 2
+        # reset=True ended the stream and cleared the tracer.
+        assert trace.TRACER.sink is None and trace.TRACER.records() == []
+
+    def test_buffered_export_unchanged_without_stream(self, obs_on, tmp_path):
+        with span("deploy.eval"):
+            pass
+        paths = export_run(tmp_path, "deploy", stem="deploy", reset=True)
+        assert load_json(paths["manifest"])["n_spans"] == 1
+        assert _read(paths["spans"])[0]["name"] == "deploy.eval"
+
+    def test_streamed_lines_are_valid_json_objects(self, obs_on, tmp_path):
+        path = TRACER.stream_to(tmp_path / "run-spans.jsonl")
+        with span("a", tiles=3):
+            pass
+        TRACER.end_stream()
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            assert {"id", "name", "start_s", "duration_s",
+                    "status"} <= set(record)

@@ -1,0 +1,112 @@
+"""Span tracer: nesting, exception safety, and the zero-cost contract."""
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.trace import TRACER, current_depth, span
+
+
+class TestContextManager:
+    def test_nesting_records_parent_and_depth(self, obs_on):
+        with span("outer", tiles=3):
+            with span("inner"):
+                assert current_depth() == 2
+        records = TRACER.records()
+        outer = next(r for r in records if r["name"] == "outer")
+        inner = next(r for r in records if r["name"] == "inner")
+        assert outer["parent_id"] is None and outer["depth"] == 0
+        assert inner["parent_id"] == outer["id"] and inner["depth"] == 1
+        assert outer["attrs"] == {"tiles": 3}
+        assert outer["status"] == inner["status"] == "ok"
+        assert outer["duration_s"] >= inner["duration_s"] >= 0
+
+    def test_exception_marks_span_and_unwinds(self, obs_on):
+        with pytest.raises(ValueError):
+            with span("failing"):
+                raise ValueError("boom")
+        record = TRACER.records()[0]
+        assert record["status"] == "error"
+        assert record["error"] == "ValueError"
+        assert record["duration_s"] is not None
+        assert current_depth() == 0
+
+    def test_sibling_spans_share_parent(self, obs_on):
+        with span("parent"):
+            with span("a"):
+                pass
+            with span("b"):
+                pass
+        records = {r["name"]: r for r in TRACER.records()}
+        assert records["a"]["parent_id"] == records["parent"]["id"]
+        assert records["b"]["parent_id"] == records["parent"]["id"]
+
+    def test_reentrant_span_object(self, obs_on):
+        s = span("repeat")
+        with s:
+            with s:
+                pass
+        records = TRACER.records()
+        assert [r["name"] for r in records] == ["repeat", "repeat"]
+        assert records[1]["parent_id"] == records[0]["id"]
+
+    def test_disabled_is_noop(self, obs_off):
+        with span("ghost"):
+            assert current_depth() == 0
+        assert TRACER.records() == []
+
+    def test_reset_restarts_clock_and_ids(self, obs_on):
+        with span("before"):
+            pass
+        TRACER.reset()
+        with span("after"):
+            pass
+        records = TRACER.records()
+        assert [r["name"] for r in records] == ["after"]
+        assert records[0]["id"] == 0
+
+
+class TestDecorator:
+    def test_identity_when_env_off(self, obs_off, monkeypatch):
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+
+        def f(x):
+            return x + 1
+
+        assert span("f")(f) is f
+
+    def test_wraps_and_records_when_env_on(self, obs_on, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "1")
+
+        @span("g.call", kind="test")
+        def g(x):
+            return x * 2
+
+        assert g(3) == 6
+        assert g.__name__ == "g"
+        records = TRACER.records()
+        assert len(records) == 1
+        assert records[0]["name"] == "g.call"
+        assert records[0]["attrs"] == {"kind": "test"}
+
+    def test_decorated_exception_propagates(self, obs_on, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "1")
+
+        @span("h.call")
+        def h():
+            raise RuntimeError("nope")
+
+        with pytest.raises(RuntimeError):
+            h()
+        assert TRACER.records()[0]["status"] == "error"
+
+
+class TestPopUnwind:
+    def test_leaked_inner_span_is_unwound(self, obs_on):
+        outer_token = TRACER.push("outer", {})
+        TRACER.push("leaked", {})
+        # Closing the outer span must pop the leaked inner entry too.
+        TRACER.pop(outer_token)
+        assert current_depth() == 0
+        records = {r["name"]: r for r in trace.TRACER.records()}
+        assert records["outer"]["status"] == "ok"
+        assert records["leaked"]["status"] == "open"

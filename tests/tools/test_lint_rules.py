@@ -284,6 +284,61 @@ class TestR6NoPrintInLibrary:
         assert out == []
 
 
+class TestR7StrideTricksInBackendOnly:
+    def test_flags_as_strided_call(self):
+        out = lint("""
+            import numpy as np
+            v = np.lib.stride_tricks.as_strided(x, shape=(2,), strides=(8,))
+        """, path="src/repro/nn/functional.py")
+        assert codes(out) == ["R7"]
+        assert "repro.backend" in out[0].message
+
+    def test_flags_from_import(self):
+        out = lint("""
+            from numpy.lib.stride_tricks import sliding_window_view
+        """, path="src/repro/xbar/engine.py")
+        assert codes(out) == ["R7"]
+
+    def test_flags_module_import_forms(self):
+        for snippet in ("import numpy.lib.stride_tricks",
+                        "from numpy.lib import stride_tricks"):
+            out = lint(snippet + "\n", path="src/repro/eval/metrics.py")
+            assert codes(out) == ["R7"], snippet
+
+    def test_flags_call_through_imported_name(self):
+        out = lint("""
+            from numpy.lib.stride_tricks import as_strided
+            w = as_strided(x, shape=(4, 2), strides=(16, 8))
+        """, path="src/repro/device/lut.py")
+        # One hit for the import, one for the call.
+        assert codes(out) == ["R7", "R7"]
+
+    def test_backend_package_exempt(self):
+        out = lint("""
+            import numpy as np
+            v = np.lib.stride_tricks.as_strided(x, shape=(2,), strides=(8,))
+        """, path="src/repro/backend/vectorized.py")
+        assert out == []
+
+    def test_stride_ok_marker_suppresses(self):
+        out = lint("""
+            import numpy as np
+            v = np.lib.stride_tricks.as_strided(  # stride-ok
+                x, shape=(2,), strides=(8,))
+        """, path="src/repro/nn/functional.py")
+        assert out == []
+
+    def test_tests_are_scoped_too(self):
+        out = lint("from numpy.lib.stride_tricks import as_strided\n",
+                   path="tests/nn/test_functional.py")
+        assert codes(out) == ["R7"]
+
+    def test_unrelated_numpy_lib_import_not_flagged(self):
+        out = lint("from numpy.lib import format as npy_format\n",
+                   path="src/repro/utils/serialization.py")
+        assert out == []
+
+
 class TestInfrastructure:
     def test_syntax_error_reported_as_e999(self):
         out = lint("def broken(:\n")

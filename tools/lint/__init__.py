@@ -1,6 +1,6 @@
 """repro-lint: custom static analysis for the simulation stack.
 
-Six AST-based rules encode the invariants the numpy-heavy pipeline
+Seven AST-based rules encode the invariants the numpy-heavy pipeline
 (device variation -> VAWO/PWT offsets -> crossbar eval) depends on —
 the mistakes that corrupt accuracy numbers without crashing:
 
@@ -21,6 +21,11 @@ R6      No bare ``print()`` inside the ``repro`` library — output goes
         through ``repro.utils.logging`` or the ``repro.obs`` exporters
         (benchmarks/examples/tests/tools are exempt; ``# print-ok``
         marks a deliberate exception).
+R7      No ``np.lib.stride_tricks`` (``as_strided`` /
+        ``sliding_window_view``) outside ``repro/backend`` — window
+        kernels live behind the compute-backend dispatch whose
+        reference equivalence the test suite guarantees
+        (``# stride-ok`` marks a vetted exception).
 ======  ==============================================================
 
 Run it as ``python -m tools.lint src/ tests/ benchmarks/``. Suppress a

@@ -1,4 +1,4 @@
-"""The six repro-lint rules (R1-R6).
+"""The seven repro-lint rules (R1-R7).
 
 Each rule is a stateless object with a ``code``, human metadata, and a
 ``check(ctx)`` generator yielding :class:`~tools.lint.report.Violation`
@@ -369,6 +369,73 @@ class NoPrintInLibraryRule(Rule):
                 "or mark a deliberate exception with '# print-ok'")
 
 
+# ----------------------------------------------------------------------
+# R7: stride tricks belong to the compute-backend package
+# ----------------------------------------------------------------------
+_STRIDE_FUNCS = ("as_strided", "sliding_window_view")
+_STRIDE_MODULE = "numpy.lib.stride_tricks"
+
+
+class StrideTricksOutsideBackendRule(Rule):
+    """Confine ``np.lib.stride_tricks`` to ``repro.backend``.
+
+    ``as_strided`` views alias arbitrary memory: writing through one
+    (or reading past a miscomputed stride) corrupts data silently, and
+    hand-rolled window extraction outside the backend bypasses the
+    dispatch layer whose reference/vectorized equivalence the test
+    suite guarantees. All window/im2col kernels live behind
+    :func:`repro.backend.get_backend`; everything else calls the
+    dispatching wrappers in ``repro.nn.functional``. A deliberate
+    exception carries ``# stride-ok``.
+    """
+
+    code = "R7"
+    name = "stride-tricks-in-backend-only"
+    description = ("np.lib.stride_tricks use outside repro/backend — "
+                   "go through repro.backend kernels (or '# stride-ok')")
+
+    _exempt_dirs = ("repro/backend/", "tools/")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not any(d in ctx.path for d in self._exempt_dirs)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            hit = self._match(ctx, node)
+            if hit is None:
+                continue
+            if ctx.span_has_marker("stride-ok", node.lineno,
+                                   getattr(node, "end_lineno", None)):
+                continue
+            yield self._violation(
+                ctx, node,
+                f"{hit} outside repro.backend — strided-window kernels "
+                f"live behind repro.backend.get_backend(); add "
+                f"'# stride-ok' only for a vetted exception")
+
+    @staticmethod
+    def _match(ctx: FileContext, node: ast.AST) -> Optional[str]:
+        """The offending source construct, or ``None``."""
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name.startswith(_STRIDE_MODULE):
+                    return f"import {item.name}"
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            if node.module.startswith(_STRIDE_MODULE):
+                return f"from {node.module} import ..."
+            if node.module == "numpy.lib":
+                for item in node.names:
+                    if item.name == "stride_tricks":
+                        return "from numpy.lib import stride_tricks"
+        elif isinstance(node, ast.Call):
+            qualname = ctx.resolve_call_name(node.func)
+            if qualname and qualname.startswith(_STRIDE_MODULE + "."):
+                return f"{qualname}()"
+            if qualname and qualname.rsplit(".", 1)[-1] in _STRIDE_FUNCS:
+                return f"{qualname.rsplit('.', 1)[-1]}()"
+        return None
+
+
 ALL_RULES: Tuple[Rule, ...] = (
     UnseededRandomRule(),
     MutableDefaultRule(),
@@ -376,4 +443,5 @@ ALL_RULES: Tuple[Rule, ...] = (
     DtypeNarrowingRule(),
     NpzSuffixRule(),
     NoPrintInLibraryRule(),
+    StrideTricksOutsideBackendRule(),
 )

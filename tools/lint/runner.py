@@ -85,7 +85,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="tools.lint",
         description="repro-lint: project-specific static analysis "
-                    "(rules R1-R6; see tools/lint/__init__.py)")
+                    "(rules R1-R7; see tools/lint/__init__.py)")
     parser.add_argument("paths", nargs="*", default=["src", "tests",
                                                      "benchmarks"],
                         help="files or directories to lint "
