@@ -1,0 +1,106 @@
+"""Artifact-cache effectiveness: cold vs warm Deployer construction.
+
+Runs the noise-independent preparation of a Fig. 5-style sweep (every
+method at two granularities) twice against one artifact store. The
+first pass is cold — every stage computes and writes; the second is
+warm — every stage should replay from disk. Two sidecars
+(``cache_cold.json`` / ``cache_warm.json``) land in the bench-regress
+gate, each carrying the per-stage span-time breakdown and the cache
+hit/miss counters for its state, so a regression in either the compute
+path or the replay path is caught separately.
+
+The reproducible claim: warm construction is at least 5x faster than
+cold (the acceptance floor; in practice it is far higher), while both
+produce bit-identical deployments (asserted by the test suite's
+sweep-parity tests, not here).
+"""
+
+import tempfile
+import time
+
+from _common import preset, report
+
+import repro.obs as obs
+from repro.cache import CacheStore
+from repro.core.pipeline import DeployConfig, Deployer
+from repro.eval.experiments import _default_pwt, build_workload
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+METHODS = ("plain", "vawo", "vawo*", "pwt", "vawo*+pwt")
+GRANULARITIES = (16, 64)
+STAGES = ("deploy.lut", "deploy.quantize", "deploy.calibrate",
+          "deploy.gradients", "deploy.vawo")
+
+
+def _sweep(wl, store, seed=0):
+    """Construct one Deployer per sweep point; total wall seconds."""
+    elapsed = 0.0
+    for m in GRANULARITIES:
+        for method in METHODS:
+            cfg = DeployConfig.from_method(
+                method, sigma=0.5, granularity=m,
+                pwt=_default_pwt(preset()), bn_recalibrate=True)
+            t0 = time.perf_counter()
+            Deployer(wl.model, wl.train, cfg, rng=seed + 10, cache=store)
+            elapsed += time.perf_counter() - t0
+    return elapsed
+
+
+def _measured_pass(wl, store):
+    """One sweep pass under obs: (elapsed_s, per-stage s, cache counters)."""
+    was_on = obs.enabled()
+    obs.enable()
+    obs.reset()
+    try:
+        elapsed = _sweep(wl, store)
+        stages = {name: 0.0 for name in STAGES}
+        for record in obs_trace.TRACER.records():
+            if record and record.get("name") in stages \
+                    and record.get("duration_s") is not None:
+                stages[record["name"]] += float(record["duration_s"])
+        counters = obs_metrics.REGISTRY.snapshot()["counters"]
+        cache_counters = {name: value for name, value in counters.items()
+                         if name.startswith("cache.")}
+    finally:
+        obs.reset()
+        if not was_on:
+            obs.disable()
+    return elapsed, stages, cache_counters
+
+
+def run():
+    wl = build_workload("lenet", preset=preset(), seed=0)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = CacheStore(tmp)
+        cold_s, cold_stages, cold_counters = _measured_pass(wl, store)
+        warm_s, warm_stages, warm_counters = _measured_pass(wl, store)
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    grid = len(METHODS) * len(GRANULARITIES)
+    for state, elapsed, stages, counters in (
+            ("cold", cold_s, cold_stages, cold_counters),
+            ("warm", warm_s, warm_stages, warm_counters)):
+        lines = [f"Artifact cache — {state} Deployer construction, "
+                 f"fig5-style sweep ({grid} points, lenet)",
+                 f"total:    {elapsed:8.3f} s",
+                 *(f"{name}: {seconds:8.3f} s"
+                   for name, seconds in stages.items()),
+                 f"hits:     {counters.get('cache.hits', 0):8.0f}   "
+                 f"misses: {counters.get('cache.misses', 0):8.0f}"]
+        if state == "warm":
+            lines.append(f"speedup:  {speedup:8.1f}x over cold "
+                         f"(acceptance floor: 5x)")
+        report(f"cache_{state}", lines,
+               data={"state": state, "sweep_points": grid,
+                     "stages": stages, "cache_counters": counters,
+                     "speedup_over_cold": (speedup if state == "warm"
+                                           else None)},
+               elapsed_s=elapsed)
+    return cold_s, warm_s
+
+
+def test_cache_speedup(benchmark):
+    cold_s, warm_s = benchmark.pedantic(run, rounds=1, iterations=1)
+    # The acceptance claim: warm-cache construction >= 5x faster.
+    assert warm_s * 5 <= cold_s

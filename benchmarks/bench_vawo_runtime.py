@@ -6,12 +6,16 @@ claim (VAWO well under the training time); absolute seconds differ with
 hardware, the *ratio* is the reproducible quantity.
 """
 
+import tempfile
 import time
 
 from _common import preset, report
 
+import repro.obs as obs
+from repro.cache import CacheStore
 from repro.core.pipeline import DeployConfig, Deployer
 from repro.eval.experiments import _SPECS, build_workload
+from repro.obs import metrics as obs_metrics
 
 
 def run():
@@ -31,19 +35,32 @@ def run():
                      batch_size=spec.batch_size, optimizer=opt, rng=2)
     train_s = time.perf_counter() - t0
 
-    # Measure the VAWO* stage alone (gradient estimation + solver).
+    # Measure the VAWO* stage alone (gradient estimation + solver)
+    # against a fresh cold artifact store, so the timing is real work
+    # rather than a replay from a warm default cache. The counters
+    # recorded in the sidecar prove the store started cold (zero hits).
     cfg = DeployConfig.from_method("vawo*", sigma=0.5, granularity=16)
-    t0 = time.perf_counter()
-    Deployer(wl.model, wl.train, cfg, rng=3)
-    vawo_s = time.perf_counter() - t0
+    was_on = obs.enabled()
+    obs.enable()
+    before = obs_metrics.REGISTRY.snapshot()["counters"]
+    with tempfile.TemporaryDirectory() as tmp:
+        t0 = time.perf_counter()
+        Deployer(wl.model, wl.train, cfg, rng=3, cache=CacheStore(tmp))
+        vawo_s = time.perf_counter() - t0
+    after = obs_metrics.REGISTRY.snapshot()["counters"]
+    if not was_on:
+        obs.disable()
+    cache_counters = {name: after[name] - before.get(name, 0.0)
+                      for name in after if name.startswith("cache.")}
 
     ratio = vawo_s / train_s
     lines = ["Section III-B — VAWO runtime vs training time (LeNet)",
              f"training: {train_s:8.1f} s",
-             f"VAWO*:    {vawo_s:8.1f} s",
+             f"VAWO*:    {vawo_s:8.1f} s  (cold artifact store)",
              f"ratio:    {ratio:8.1%}   (paper: 4.3%)"]
     report("vawo_runtime", lines,
-           data={"train_s": train_s, "vawo_s": vawo_s, "ratio": ratio})
+           data={"train_s": train_s, "vawo_s": vawo_s, "ratio": ratio,
+                 "cache_counters": cache_counters})
     return train_s, vawo_s
 
 

@@ -1,0 +1,42 @@
+"""Content-addressed stage cache for noise-independent pipeline work.
+
+Public surface:
+
+- :func:`stage_key` / :func:`digest_array` / :func:`digest_arrays` —
+  stable key derivation from stage inputs (``keys``);
+- :class:`CacheStore` with :func:`active_store` / :func:`resolve_store`
+  / :func:`cache_enabled` — the disk-backed artifact store (``store``).
+
+See DESIGN.md ("Artifact cache") for the keying rules, in particular
+why RNG generators never enter a key.
+"""
+
+from repro.cache.keys import (
+    STAGE_VERSIONS,
+    digest_array,
+    digest_arrays,
+    fingerprint,
+    stage_key,
+)
+from repro.cache.store import (
+    DEFAULT_CACHE_DIR,
+    DEFAULT_MAX_BYTES,
+    CacheStore,
+    active_store,
+    cache_enabled,
+    resolve_store,
+)
+
+__all__ = [
+    "STAGE_VERSIONS",
+    "digest_array",
+    "digest_arrays",
+    "fingerprint",
+    "stage_key",
+    "DEFAULT_CACHE_DIR",
+    "DEFAULT_MAX_BYTES",
+    "CacheStore",
+    "active_store",
+    "cache_enabled",
+    "resolve_store",
+]

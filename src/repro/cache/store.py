@@ -1,0 +1,306 @@
+"""Content-addressed, disk-backed artifact store for pipeline stages.
+
+One artifact = one ``.npz`` archive under ``<dir>/objects/<k[:2]>/<key>.npz``
+holding a named array family plus an embedded JSON metadata record
+(``__meta__``). The store guarantees:
+
+**Atomic writes.** Artifacts are written to a same-directory temp file
+and ``os.replace``d into place, so a reader never sees a half-written
+archive and two processes racing on one key leave exactly one intact
+winner (content-addressing makes either winner correct).
+
+**Corrupt-artifact recovery.** An archive that exists but cannot be
+read back (truncated, bit-rotted — the failure class that broke the
+seed's end-to-end test) is discarded with a warning and treated as a
+miss, never surfaced to the caller.
+
+**LRU size cap.** Each hit bumps the artifact's mtime; when the store
+grows past ``max_bytes`` the oldest artifacts are evicted after every
+write until it fits.
+
+**Observability.** ``cache.hits`` / ``cache.misses`` / ``cache.evictions``
+/ ``cache.corrupt`` counters (plus per-stage ``cache.hits.<stage>``
+variants) flow through :mod:`repro.obs`, so ``--profile`` manifests
+show exactly what a run reused.
+
+Resolution order for the process-wide store: an explicit directory
+argument, then the ``REPRO_CACHE`` environment variable (a path, or
+``0``/``off`` to disable caching entirely), then the package default
+``.cache/repro``. ``REPRO_CACHE_MAX_MB`` bounds the on-disk size.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.obs import metrics as obs_metrics
+from repro.utils.logging import get_logger
+from repro.utils.serialization import SerializationError
+
+logger = get_logger(__name__)
+
+PathLike = Union[str, Path]
+ArrayFamily = Dict[str, np.ndarray]
+
+__all__ = ["CacheStore", "DEFAULT_CACHE_DIR", "DEFAULT_MAX_BYTES",
+           "active_store", "cache_enabled", "resolve_store"]
+
+#: Where artifacts live when neither ``REPRO_CACHE`` nor an explicit
+#: directory says otherwise (shared with the trained-workload cache).
+DEFAULT_CACHE_DIR = Path(".cache/repro")
+
+#: Default LRU size cap (bytes) — ``REPRO_CACHE_MAX_MB`` overrides.
+DEFAULT_MAX_BYTES = 4096 * 1024 * 1024
+
+#: ``REPRO_CACHE`` values that disable the cache layer entirely.
+_DISABLED_VALUES = frozenset({"0", "off", "none", "disabled"})
+
+#: Reserved archive member carrying the JSON metadata record.
+_META_KEY = "__meta__"
+
+
+class CacheStore:
+    """A content-addressed ``.npz`` artifact store (see module docs)."""
+
+    def __init__(self, directory: PathLike,
+                 max_bytes: Optional[int] = DEFAULT_MAX_BYTES) -> None:
+        """Create a store rooted at ``directory`` (created lazily).
+
+        ``max_bytes`` caps the total artifact size (LRU eviction after
+        each write); ``None`` means unbounded.
+        """
+        self.directory = Path(directory)
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = max_bytes
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    @property
+    def objects_dir(self) -> Path:
+        """Root of the content-addressed object tree."""
+        return self.directory / "objects"
+
+    def path_for(self, key: str) -> Path:
+        """On-disk archive path for ``key`` (two-level fan-out)."""
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"cache keys are lowercase hex, got {key!r}")
+        return self.objects_dir / key[:2] / f"{key}.npz"
+
+    # ------------------------------------------------------------------
+    # read / write
+    # ------------------------------------------------------------------
+    def get(self, key: str, stage: str = "") -> Optional[ArrayFamily]:
+        """The array family stored under ``key``, or ``None`` on a miss.
+
+        A corrupt artifact is discarded with a warning and reported as
+        a miss. Hits bump the artifact's LRU clock.
+        """
+        path = self.path_for(key)
+        try:
+            with np.load(str(path)) as data:  # npz-ok
+                family = {k: data[k] for k in data.files if k != _META_KEY}
+        except FileNotFoundError:
+            self._count("misses", stage)
+            return None
+        except Exception as exc:  # noqa: BLE001 — any unreadable archive
+            logger.warning("discarding corrupt cache artifact %s (%s: %s)",
+                           path, type(exc).__name__, exc)
+            self._count("corrupt", stage)
+            self._count("misses", stage)
+            path.unlink(missing_ok=True)
+            return None
+        try:
+            os.utime(path)          # LRU clock: most-recently-used
+        except OSError:
+            pass
+        self._count("hits", stage)
+        return family
+
+    def put(self, key: str, arrays: Mapping[str, np.ndarray],
+            stage: str = "", metadata: Optional[Mapping[str, Any]] = None,
+            ) -> Path:
+        """Atomically store ``arrays`` (any shapes) under ``key``.
+
+        The archive is written to a same-directory temp file and
+        ``os.replace``d into place; concurrent writers of one key both
+        succeed and leave one intact artifact. Returns the final path.
+        """
+        if _META_KEY in arrays:
+            raise ValueError(f"array name {_META_KEY!r} is reserved")
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        meta = {"key": key, "stage": stage, **(dict(metadata or {}))}
+        meta_blob = np.frombuffer(
+            json.dumps(meta, sort_keys=True).encode(), dtype=np.uint8)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".npz")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez(fh, __meta__=meta_blob,  # npz-ok (file object)
+                         **{k: np.asarray(v) for k, v in arrays.items()})
+            os.replace(tmp_name, path)
+        except BaseException:
+            Path(tmp_name).unlink(missing_ok=True)
+            raise
+        self._count("writes", stage)
+        if self.max_bytes is not None:
+            self._evict(keep=path)
+        return path
+
+    def fetch(self, key: str, compute: Callable[[], ArrayFamily],
+              stage: str = "",
+              metadata: Optional[Mapping[str, Any]] = None) -> ArrayFamily:
+        """Get-or-compute: the memoization primitive stages call.
+
+        On a miss, ``compute()`` runs, its result is stored, and the
+        *computed* family is returned (``.npz`` round-trips are
+        lossless, so hit and miss return bit-identical arrays).
+        """
+        cached = self.get(key, stage=stage)
+        if cached is not None:
+            return cached
+        arrays = compute()
+        self.put(key, arrays, stage=stage, metadata=metadata)
+        return arrays
+
+    def contains(self, key: str) -> bool:
+        """Whether an artifact for ``key`` is currently on disk."""
+        return self.path_for(key).exists()
+
+    def metadata(self, key: str) -> Optional[Dict[str, Any]]:
+        """The JSON metadata record stored with ``key``, if readable."""
+        try:
+            with np.load(str(self.path_for(key))) as data:  # npz-ok
+                if _META_KEY not in data.files:
+                    return None
+                return dict(json.loads(bytes(data[_META_KEY]).decode()))
+        except FileNotFoundError:
+            return None
+        except Exception as exc:  # noqa: BLE001 — corrupt = no metadata
+            raise SerializationError(
+                f"{self.path_for(key)} exists but its metadata is "
+                f"unreadable ({type(exc).__name__}: {exc})") from exc
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def artifacts(self) -> List[Path]:
+        """All artifact paths currently in the store (unsorted)."""
+        if not self.objects_dir.is_dir():
+            return []
+        return [p for p in self.objects_dir.rglob("*.npz")
+                if not p.name.startswith(".tmp-")]
+
+    def size_bytes(self) -> int:
+        """Total on-disk size of all artifacts."""
+        return sum(self._safe_stat(p)[1] for p in self.artifacts())
+
+    def clear(self) -> int:
+        """Delete every artifact; returns how many were removed."""
+        removed = 0
+        for path in self.artifacts():
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def _evict(self, keep: Optional[Path] = None) -> None:
+        """Drop least-recently-used artifacts until under ``max_bytes``.
+
+        The artifact at ``keep`` (the one just written) survives even
+        when it alone exceeds the cap — evicting your own write would
+        turn every warm lookup into a miss.
+        """
+        entries: List[Tuple[float, int, Path]] = []
+        total = 0
+        for path in self.artifacts():
+            mtime, size = self._safe_stat(path)
+            total += size
+            entries.append((mtime, size, path))
+        if self.max_bytes is None or total <= self.max_bytes:
+            return
+        entries.sort(key=lambda e: e[0])          # oldest first
+        for mtime, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            if keep is not None and path == keep:
+                continue
+            path.unlink(missing_ok=True)
+            total -= size
+            self._count("evictions", "")
+            logger.info("evicted cache artifact %s (%d bytes)", path, size)
+
+    @staticmethod
+    def _safe_stat(path: Path) -> Tuple[float, int]:
+        """(mtime, size) of ``path``; (0, 0) if it vanished mid-scan."""
+        try:
+            st = path.stat()
+        except OSError:
+            return (0.0, 0)
+        return (st.st_mtime, st.st_size)
+
+    @staticmethod
+    def _count(event: str, stage: str) -> None:
+        obs_metrics.inc(f"cache.{event}")
+        if stage:
+            obs_metrics.inc(f"cache.{event}.{stage}")
+
+
+# ----------------------------------------------------------------------
+# process-wide resolution (env-driven)
+# ----------------------------------------------------------------------
+_STORES: Dict[Tuple[str, Optional[int]], CacheStore] = {}
+
+
+def _env_max_bytes() -> Optional[int]:
+    raw = os.environ.get("REPRO_CACHE_MAX_MB")
+    if raw is None or not raw.strip():
+        return DEFAULT_MAX_BYTES
+    try:
+        mb = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_CACHE_MAX_MB must be an integer, got {raw!r}")
+    if mb <= 0:
+        raise ValueError(f"REPRO_CACHE_MAX_MB must be positive, got {mb}")
+    return mb * 1024 * 1024
+
+
+def cache_enabled() -> bool:
+    """Whether the env leaves the cache layer enabled (default: yes)."""
+    raw = os.environ.get("REPRO_CACHE", "")
+    return raw.strip().lower() not in _DISABLED_VALUES or raw.strip() == ""
+
+
+def resolve_store(directory: Optional[PathLike] = None,
+                  ) -> Optional[CacheStore]:
+    """The store for ``directory``, or the env-resolved default.
+
+    An explicit ``directory`` always yields a store there (callers that
+    pass one have opted in); with ``directory=None`` the ``REPRO_CACHE``
+    env var picks the location — or disables caching, in which case
+    ``None`` is returned and every stage recomputes.
+    """
+    if directory is None:
+        raw = os.environ.get("REPRO_CACHE", "").strip()
+        if raw.lower() in _DISABLED_VALUES and raw != "":
+            return None
+        directory = Path(raw) if raw else DEFAULT_CACHE_DIR
+    cache_key = (str(Path(directory)), _env_max_bytes())
+    store = _STORES.get(cache_key)
+    if store is None:
+        store = _STORES[cache_key] = CacheStore(
+            cache_key[0], max_bytes=cache_key[1])
+    return store
+
+
+def active_store() -> Optional[CacheStore]:
+    """The process-wide default store (``None`` when caching is off)."""
+    return resolve_store(None)

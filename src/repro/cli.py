@@ -12,8 +12,13 @@ Usage (after ``pip install -e .``):
     python -m repro overhead --granularity 16 128
     python -m repro info
 
-Workloads are trained once and cached (``.cache/repro``), so repeated
-deploy/experiment invocations are fast.
+Workloads are trained once and every noise-independent pipeline stage
+(LUTs, quantization, calibration, gradients, VAWO solves) is memoized
+in the content-addressed artifact cache (``.cache/repro`` by default),
+so repeated deploy/experiment invocations are fast. ``--cache-dir DIR``
+relocates the store, ``--no-cache`` disables reuse entirely (results
+are bit-identical either way); both export ``REPRO_CACHE`` so ``--jobs``
+workers follow the same policy.
 
 ``--jobs/-j`` (on ``deploy``/``experiment``) shards the independent
 programming-cycle trials across worker processes (``0`` = one per
@@ -68,6 +73,16 @@ def _add_backend_arg(p: argparse.ArgumentParser) -> None:
                         "Every backend is numerically interchangeable")
 
 
+def _add_cache_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="artifact cache location (default: $REPRO_CACHE or "
+                        ".cache/repro). Cached and recomputed runs are "
+                        "bit-identical")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the artifact cache: recompute every "
+                        "pipeline stage (same results, no reuse)")
+
+
 def _add_train(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("train", help="train (and cache) a workload")
     p.add_argument("--workload", default="lenet",
@@ -76,6 +91,7 @@ def _add_train(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--dva-sigma", type=float, default=None,
                    help="train with DVA variation injection at this sigma")
+    _add_cache_args(p)
     _add_backend_arg(p)
     _add_profile_args(p)
 
@@ -97,6 +113,7 @@ def _add_deploy(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--saf", type=float, nargs=2, metavar=("SA0", "SA1"),
                    default=None, help="stuck-at fault rates")
     _add_jobs_arg(p)
+    _add_cache_args(p)
     _add_backend_arg(p)
     _add_profile_args(p)
 
@@ -109,6 +126,7 @@ def _add_experiment(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--preset", default="quick", choices=["quick", "full"])
     p.add_argument("--trials", type=int, default=2)
     _add_jobs_arg(p)
+    _add_cache_args(p)
     _add_backend_arg(p)
     _add_profile_args(p)
 
@@ -338,6 +356,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Exported through the environment (not set_default_backend) so
         # --jobs worker processes inherit the same kernel set.
         os.environ["REPRO_BACKEND"] = backend
+    if getattr(args, "no_cache", False) and getattr(args, "cache_dir", None):
+        parser.error("--no-cache and --cache-dir are mutually exclusive")
+    if getattr(args, "no_cache", False):
+        # Same env-export pattern as --backend: worker processes and
+        # every library layer see one consistent cache policy.
+        os.environ["REPRO_CACHE"] = "0"
+    elif getattr(args, "cache_dir", None):
+        os.environ["REPRO_CACHE"] = str(args.cache_dir)
     handlers = {
         "train": _cmd_train,
         "deploy": _cmd_deploy,

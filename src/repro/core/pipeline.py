@@ -24,13 +24,17 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Mapping,
+                    Optional, Tuple)
 
 import numpy as np
 
 if TYPE_CHECKING:
     from repro.eval.accuracy import TrialResult
 
+from repro.backend import default_backend_name
+from repro.cache import (CacheStore, active_store, digest_array,
+                         digest_arrays, stage_key)
 from repro.core.crossbar_layers import (CrossbarConv2d, CrossbarLinear,
                                         _CrossbarBase)
 from repro.core.offsets import OffsetPlan
@@ -39,7 +43,8 @@ from repro.core.vawo import VAWOResult, plain_assignment, run_vawo
 from repro.data.loaders import Dataset, iterate_batches
 from repro.device.cell import SLC, CellType
 from repro.device.lut import (DeviceLUT, DeviceModel, build_lut_analytic,
-                              build_lut_monte_carlo)
+                              build_lut_monte_carlo, device_key_components,
+                              lut_from_arrays, lut_to_arrays)
 from repro.device.variation import VariationModel
 from repro.nn import functional as F
 from repro.nn.layers import Conv2d, Linear, Sequential
@@ -201,56 +206,123 @@ class Deployer:
     """
 
     def __init__(self, model: Module, train_data: Dataset,
-                 config: DeployConfig, rng: RngLike = None):
+                 config: DeployConfig, rng: RngLike = None,
+                 cache: Optional[CacheStore] = None):
         """Run the noise-independent preparation for ``model``.
 
         Quantizes weights, calibrates input ranges, estimates per-weight
         gradients and solves VAWO (as configured) — everything needed
-        before the first :meth:`program` call.
+        before the first :meth:`program` call. Stage results are reused
+        through the artifact cache (``cache``, defaulting to the
+        env-resolved :func:`repro.cache.active_store`; ``REPRO_CACHE=0``
+        disables reuse) with bit-identical results either way: stages
+        that consume randomness are handed dedicated integer seeds drawn
+        from the parent stream in a config-determined order, so a cache
+        hit advances ``rng`` exactly as a miss does.
         """
         self.model = model
         self.config = config
         self.train_data = train_data
         self._rng = make_rng(rng)
+        self.cache = cache if cache is not None else active_store()
         self.variation = VariationModel(config.sigma, config.ddv_fraction)
         self.device = DeviceModel(config.cell, self.variation,
                                   n_bits=config.weight_bits)
+        # Per-stage seeds, drawn in a fixed config-determined order —
+        # never conditional on cache state (see DESIGN.md, "Why stage
+        # keys exclude RNG-dependent inputs").
+        saf_seed = (derive_seed(self._rng)
+                    if config.saf_rates is not None else None)
+        self._lut_seed = (derive_seed(self._rng)
+                          if config.lut_source == "monte_carlo" else None)
+        self._grad_seed = derive_seed(self._rng) if config.use_vawo else None
         if config.saf_rates is not None:
             from repro.device.faults import FaultyDeviceModel
             sa0, sa1 = config.saf_rates
             self.programmer = FaultyDeviceModel(self.device, sa0_rate=sa0,
-                                                sa1_rate=sa1,
-                                                rng=derive_seed(self._rng))
+                                                sa1_rate=sa1, rng=saf_seed)
         else:
             self.programmer = self.device
-        with span("deploy.lut", source=config.lut_source):
-            self.lut = self._build_lut()
-        with span("deploy.quantize"):
-            self.layers: List[LayerPrep] = self._prepare_layers()
-        with span("deploy.calibrate"):
-            self._calibrate_inputs()
+        self.lut = self._build_lut()
+        self.layers: List[LayerPrep] = self._prepare_layers()
+        self._calibrate_inputs()
         if config.use_vawo:
-            with span("deploy.gradients", batches=config.grad_batches):
-                self._estimate_gradients()
-        with span("deploy.vawo", layers=len(self.layers),
-                  method=config.method_name):
-            self._assign_targets()
+            self._estimate_gradients()
+        self._assign_targets()
 
     # ------------------------------------------------------------------
     # preparation stages
     # ------------------------------------------------------------------
+    def _stage(self, stage: str, components: Dict[str, Any],
+               compute: Callable[[], Dict[str, np.ndarray]],
+               span_name: str, **span_attrs: Any) -> Dict[str, np.ndarray]:
+        """Run one cacheable stage: lookup by content key, else compute.
+
+        ``components`` are the stage's actual inputs (config fields and
+        array digests — never RNG generators); ``compute`` returns the
+        stage's full result as a named array family, which is what a
+        later hit replays bit-identically. The stage span carries a
+        ``cached`` attribute so ``--profile`` manifests show reuse.
+        """
+        store = self.cache
+        if store is None:
+            with span(span_name, cached=False, **span_attrs):
+                return compute()
+        key = stage_key(stage, **components)
+        arrays = store.get(key, stage=stage)
+        with span(span_name, cached=arrays is not None, **span_attrs):
+            if arrays is None:
+                arrays = compute()
+                store.put(key, arrays, stage=stage,
+                          metadata={"method": self.config.method_name})
+            return arrays
+
     def _build_lut(self) -> DeviceLUT:
-        if self.config.lut_source == "analytic":
-            return build_lut_analytic(self.device)
-        return build_lut_monte_carlo(self.device, self.config.lut_k_sets,
-                                     self.config.lut_j_cycles, self._rng)
+        components: Dict[str, Any] = dict(
+            device_key_components(self.device),
+            source=self.config.lut_source)
+        if self.config.lut_source == "monte_carlo":
+            components.update(k_sets=self.config.lut_k_sets,
+                              j_cycles=self.config.lut_j_cycles,
+                              seed=self._lut_seed)
+
+        def compute() -> Dict[str, np.ndarray]:
+            if self.config.lut_source == "analytic":
+                lut = build_lut_analytic(self.device)
+            else:
+                lut = build_lut_monte_carlo(
+                    self.device, self.config.lut_k_sets,
+                    self.config.lut_j_cycles, make_rng(self._lut_seed))
+            return lut_to_arrays(lut)
+
+        arrays = self._stage("lut", components, compute, "deploy.lut",
+                             source=self.config.lut_source)
+        return lut_from_arrays(arrays)
 
     def _prepare_layers(self) -> List[LayerPrep]:
-        quantizer = AffineQuantizer(self.config.weight_bits)
+        layers = mappable_layers(self.model)
+        if not layers:
+            raise ValueError("model has no crossbar-mappable layers")
+        components = dict(
+            weights=digest_arrays(
+                {path: layer.weight.data for path, layer in layers}),
+            weight_bits=self.config.weight_bits)
+
+        def compute() -> Dict[str, np.ndarray]:
+            quantizer = AffineQuantizer(self.config.weight_bits)
+            out: Dict[str, np.ndarray] = {}
+            for i, (_, layer) in enumerate(layers):
+                qt = quantizer.quantize(layer.weight.data)
+                out[f"{i}.ntw"] = weight_to_matrix(qt.values)
+                out[f"{i}.scale"] = np.float64(qt.scale)
+                out[f"{i}.zero_point"] = np.int64(qt.zero_point)
+            return out
+
+        arrays = self._stage("quantize", components, compute,
+                             "deploy.quantize")
         preps = []
-        for path, layer in mappable_layers(self.model):
-            qt = quantizer.quantize(layer.weight.data)
-            ntw = weight_to_matrix(qt.values)
+        for i, (path, layer) in enumerate(layers):
+            ntw = arrays[f"{i}.ntw"]
             plan = OffsetPlan(rows=ntw.shape[0], cols=ntw.shape[1],
                               granularity=self.config.granularity)
             is_conv = isinstance(layer, Conv2d)
@@ -261,17 +333,35 @@ class Deployer:
                 kernel_shape=tuple(layer.weight.shape) if is_conv else None,
                 stride=getattr(layer, "stride", 1),
                 padding=getattr(layer, "padding", 0),
-                ntw=ntw, scale=qt.scale, zero_point=qt.zero_point,
+                ntw=ntw, scale=float(arrays[f"{i}.scale"]),
+                zero_point=int(arrays[f"{i}.zero_point"]),
                 bias=None if layer.bias is None else layer.bias.data.copy(),
                 plan=plan, input_quantizer=in_q))
-        if not preps:
-            raise ValueError("model has no crossbar-mappable layers")
         return preps
 
     def _calibrate_inputs(self) -> None:
         """Record per-layer input peaks on a calibration batch."""
         if self.config.input_bits is None:
             return
+        n_cal = min(len(self.train_data), 256)
+        images = self.train_data.images[:n_cal]
+        # Peaks depend on every parameter/buffer the forward pass reads
+        # (not just mappable weights) and on the kernel backend's float
+        # numerics, so both enter the key.
+        components = dict(
+            state=digest_arrays(self.model.state_dict()),
+            images=digest_array(images),
+            input_bits=self.config.input_bits,
+            backend=default_backend_name())
+        arrays = self._stage(
+            "calibrate", components,
+            lambda: {"peaks": self._measure_peaks(images)},
+            "deploy.calibrate")
+        for prep, peak in zip(self.layers, arrays["peaks"]):
+            prep.input_quantizer.calibrate(np.array(peak))
+
+    def _measure_peaks(self, images: np.ndarray) -> np.ndarray:
+        """Forward ``images`` (n, ...) once; per-layer input peaks (L,)."""
         shims: Dict[str, _CalibrationShim] = {}
         for prep in self.layers:
             target = self._lookup(self.model, prep.path)
@@ -281,15 +371,12 @@ class Deployer:
         _rebuild_sequentials(self.model)
         try:
             self.model.eval()
-            n_cal = min(len(self.train_data), 256)
-            images = self.train_data.images[:n_cal]
             self.model(Tensor(images))
         finally:
             for prep in self.layers:
                 _replace_module(self.model, prep.path, shims[prep.path].inner)
             _rebuild_sequentials(self.model)
-        for prep in self.layers:
-            prep.input_quantizer.calibrate(np.array(shims[prep.path].peak))
+        return np.array([shims[prep.path].peak for prep in self.layers])
 
     def _estimate_gradients(self) -> None:
         """Per-weight loss sensitivity over training batches (Eq. 5).
@@ -303,6 +390,23 @@ class Deployer:
         — which reduces to the paper's quantity away from convergence
         and stays informative at it. DESIGN.md records this refinement.
         """
+        components = dict(
+            state=digest_arrays(self.model.state_dict()),
+            images=digest_array(self.train_data.images),
+            labels=digest_array(self.train_data.labels),
+            batches=self.config.grad_batches,
+            batch_size=self.config.grad_batch_size,
+            seed=self._grad_seed,
+            backend=default_backend_name())
+        arrays = self._stage("gradients", components,
+                             self._compute_gradients, "deploy.gradients",
+                             batches=self.config.grad_batches)
+        for i, prep in enumerate(self.layers):
+            prep.grads = arrays[f"{i}.grads"]
+
+    def _compute_gradients(self) -> Dict[str, np.ndarray]:
+        """Batch-shuffled gradient RMS per layer, keyed ``{i}.grads``."""
+        rng = make_rng(self._grad_seed)
         self.model.eval()
         layer_map = dict(mappable_layers(self.model))
         sq_sums = {prep.path: np.zeros_like(layer_map[prep.path].weight.data)
@@ -310,7 +414,7 @@ class Deployer:
         n_batches = 0
         for images, labels in iterate_batches(
                 self.train_data, self.config.grad_batch_size,
-                shuffle=True, rng=self._rng):
+                shuffle=True, rng=rng):
             self.model.zero_grad()
             loss = F.cross_entropy(self.model(Tensor(images)), labels)
             loss.backward()
@@ -321,23 +425,51 @@ class Deployer:
             n_batches += 1
             if n_batches >= self.config.grad_batches:
                 break
-        for prep in self.layers:
-            rms = np.sqrt(sq_sums[prep.path] / max(n_batches, 1))
-            prep.grads = weight_to_matrix(rms)
         self.model.zero_grad()
+        out: Dict[str, np.ndarray] = {}
+        for i, prep in enumerate(self.layers):
+            rms = np.sqrt(sq_sums[prep.path] / max(n_batches, 1))
+            out[f"{i}.grads"] = weight_to_matrix(rms)
+        return out
 
     def _assign_targets(self) -> None:
-        for prep in self.layers:
-            if self.config.use_vawo:
-                prep.assignment = run_vawo(
-                    prep.ntw, prep.grads, self.lut, prep.plan,
-                    weight_bits=self.config.weight_bits,
-                    offset_bits=self.config.offset_bits,
-                    use_complement=self.config.use_complement,
-                    grad_floor_frac=self.config.grad_floor_frac,
-                    bias_tolerance=self.config.bias_tolerance)
-            else:
-                prep.assignment = plain_assignment(prep.ntw, prep.plan)
+        with span("deploy.vawo", layers=len(self.layers),
+                  method=self.config.method_name):
+            if not self.config.use_vawo:
+                for prep in self.layers:
+                    prep.assignment = plain_assignment(prep.ntw, prep.plan)
+                return
+            lut_digest = digest_arrays(lut_to_arrays(self.lut))
+            for prep in self.layers:
+                prep.assignment = self._solve_vawo(prep, lut_digest)
+
+    def _solve_vawo(self, prep: LayerPrep, lut_digest: str) -> VAWOResult:
+        """One layer's cached VAWO solve (search itself is in core.vawo)."""
+        cfg = self.config
+        components = dict(
+            ntw=digest_array(prep.ntw), grads=digest_array(prep.grads),
+            lut=lut_digest, granularity=cfg.granularity,
+            weight_bits=cfg.weight_bits, offset_bits=cfg.offset_bits,
+            use_complement=cfg.use_complement,
+            grad_floor_frac=cfg.grad_floor_frac,
+            bias_tolerance=cfg.bias_tolerance)
+
+        def compute() -> Dict[str, np.ndarray]:
+            result = run_vawo(
+                prep.ntw, prep.grads, self.lut, prep.plan,
+                weight_bits=cfg.weight_bits, offset_bits=cfg.offset_bits,
+                use_complement=cfg.use_complement,
+                grad_floor_frac=cfg.grad_floor_frac,
+                bias_tolerance=cfg.bias_tolerance)
+            return {"ctw": result.ctw, "registers": result.registers,
+                    "complement": result.complement,
+                    "objective": result.objective}
+
+        arrays = self._stage("vawo", components, compute, "deploy.vawo_layer",
+                             layer=prep.path)
+        return VAWOResult(ctw=arrays["ctw"], registers=arrays["registers"],
+                          complement=arrays["complement"],
+                          objective=arrays["objective"])
 
     # ------------------------------------------------------------------
     # lookup helper

@@ -17,7 +17,7 @@ used everywhere else.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Dict, Mapping, Optional
 
 import numpy as np
 
@@ -162,6 +162,41 @@ class DeviceLUT:
         """``E[R(invert(t))] - t``: the bias VAWO cannot remove
         (elementwise: same shape as ``targets``)."""
         return self.mean[self.invert(targets)] - np.asarray(targets)
+
+
+def lut_to_arrays(lut: DeviceLUT) -> Dict[str, np.ndarray]:
+    """A LUT as a cacheable array family.
+
+    Returns ``{"mean": (n_values,), "var": (n_values,)}`` float64
+    arrays; :func:`lut_from_arrays` is the exact inverse (the sort
+    order used by ``invert`` is rebuilt, not stored).
+    """
+    return {"mean": lut.mean, "var": lut.var}
+
+
+def lut_from_arrays(arrays: Mapping[str, np.ndarray]) -> DeviceLUT:
+    """Rebuild a :class:`DeviceLUT` from :func:`lut_to_arrays` output.
+
+    Expects 1-D ``mean`` / ``var`` entries of equal length
+    (n_values,); validation happens in the ``DeviceLUT`` constructor.
+    """
+    return DeviceLUT(arrays["mean"], arrays["var"])
+
+
+def device_key_components(device: DeviceModel) -> Dict[str, Any]:
+    """Every :class:`DeviceModel` field that shapes its LUT, as scalars.
+
+    The cache layer folds these into LUT stage keys so two devices get
+    the same artifact exactly when their tables would be identical.
+    Returns a flat name -> scalar dict (no arrays).
+    """
+    return {
+        "cell_bits": device.cell.bits,
+        "on_off_ratio": device.cell.on_off_ratio,
+        "sigma": device.variation.sigma,
+        "ddv_fraction": device.variation.ddv_fraction,
+        "n_bits": device.n_bits,
+    }
 
 
 def build_lut_analytic(device: DeviceModel) -> DeviceLUT:

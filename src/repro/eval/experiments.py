@@ -33,8 +33,10 @@ import numpy as np
 
 from repro.arch.area import tile_overhead
 from repro.arch.energy import deployment_reading_power
+from repro.backend import default_backend_name
 from repro.baselines.dva import DVA_DEVICES_PER_WEIGHT, DVAConfig, train_dva
 from repro.baselines.pm import (PM_DEVICES_PER_WEIGHT, PMConfig, deploy_pm)
+from repro.cache import resolve_store, stage_key
 from repro.core.pipeline import DeployConfig, Deployer
 from repro.core.pwt import PWTConfig
 from repro.data.loaders import Dataset
@@ -44,18 +46,13 @@ from repro.eval.accuracy import evaluate_deployment, ideal_accuracy
 from repro.nn.models import LeNet, resnet18_slim, vgg16_slim
 from repro.nn.optim import Adam
 from repro.nn.trainer import evaluate_accuracy, train_classifier
-from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
 from repro.parallel import run_trials
 from repro.utils.logging import get_logger
 from repro.utils.rng import make_rng, spawn_seeds
-from repro.utils.serialization import (SerializationError, load_arrays,
-                                       save_arrays)
 from repro.xbar.arch import normalized_crossbar_number
 
 logger = get_logger(__name__)
-
-DEFAULT_CACHE = Path(".cache/repro")
 
 
 # ----------------------------------------------------------------------
@@ -126,11 +123,14 @@ def workload_names() -> List[str]:
 def build_workload(name: str, preset: str = "quick", seed: int = 0,
                    cache_dir: Optional[Path] = None,
                    train_override: Optional[Callable] = None) -> Workload:
-    """Build (or load from cache) a trained workload.
+    """Build (or load from the artifact cache) a trained workload.
 
     ``train_override(model, train, spec, rng)`` replaces the default
     training loop — the DVA baseline uses this to inject variation-aware
-    training while sharing data synthesis and caching.
+    training while sharing data synthesis and caching. Trained weights
+    are stored through :mod:`repro.cache` (the ``workload`` stage):
+    ``cache_dir`` forces a store location, otherwise ``REPRO_CACHE``
+    resolves one (or disables reuse entirely).
     """
     if name not in _SPECS:
         raise ValueError(f"unknown workload {name!r}; choose from {workload_names()}")
@@ -149,26 +149,9 @@ def build_workload(name: str, preset: str = "quick", seed: int = 0,
         if _accepts_rng(spec.model_factory) else spec.model_factory(make_rng(seed + 1))
 
     tag = "default" if train_override is None else train_override.__name__
-    cache_dir = Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE
-    cache_file = cache_dir / f"{name}-{preset}-{seed}-{tag}.npz"
-    cached_state = None
-    if cache_file.exists():
-        try:
-            cached_state = load_arrays(str(cache_file))
-        except SerializationError as exc:
-            # A truncated/corrupt cache artifact must never poison the
-            # run — drop it and retrain (the class of failure that broke
-            # the seed's end-to-end test).
-            logger.warning("discarding unreadable cache %s: %s",
-                           cache_file, exc)
-            obs_metrics.inc("workload.cache_corrupt")
-            cache_file.unlink(missing_ok=True)
-    if cached_state is not None:
-        model.load_state_dict(cached_state)
-        obs_metrics.inc("workload.cache_hits")
-        logger.info("loaded cached weights for %s", cache_file.stem)
-    else:
-        obs_metrics.inc("workload.cache_misses")
+    store = resolve_store(cache_dir)
+
+    def train_state() -> Dict[str, np.ndarray]:
         aug = _augmented(train, spec.noise_augment, make_rng(seed + 2))
         with span("workload.train", workload=name, preset=preset):
             if train_override is None:
@@ -179,8 +162,25 @@ def build_workload(name: str, preset: str = "quick", seed: int = 0,
                                  rng=make_rng(seed + 3))
             else:
                 train_override(model, aug, spec, make_rng(seed + 3))
-        save_arrays(str(cache_file), model.state_dict(),
-                    metadata={"workload": name, "preset": preset, "seed": seed})
+        return model.state_dict()
+
+    if store is None:
+        train_state()
+    else:
+        # Every spec field that shapes the trained weights enters the
+        # key, so editing a preset invalidates its artifacts; backend
+        # numerics differ, so the backend name does too.
+        key = stage_key(
+            "workload", name=name, preset=preset, seed=seed, tag=tag,
+            dataset=spec.dataset, n_samples=spec.n_samples,
+            epochs=spec.epochs, batch_size=spec.batch_size, lr=spec.lr,
+            weight_decay=spec.weight_decay,
+            noise_augment=spec.noise_augment,
+            backend=default_backend_name())
+        state = store.fetch(key, train_state, stage="workload",
+                            metadata={"workload": name, "preset": preset,
+                                      "seed": seed, "tag": tag})
+        model.load_state_dict(state)
     acc = evaluate_accuracy(model, test)
     return Workload(name=name, model=model, train=train, test=test,
                     float_accuracy=acc)

@@ -16,8 +16,17 @@ Quick use::
 The deployment pipeline exposes this via ``Deployer.evaluate(...)``,
 ``repro.eval.accuracy.evaluate_deployment(..., jobs=...)``, the
 experiment runners' ``jobs=`` parameters, and the CLI's ``--jobs/-j``.
+
+On the process backend the grid callable is pickled once per grid and
+broadcast to each worker through the pool initializer — with large
+read-only arrays riding ``multiprocessing.shared_memory`` where
+available (:mod:`repro.parallel.broadcast`, ``REPRO_SHM=0`` to
+disable) — instead of being re-pickled into every trial task.
 """
 
+from repro.parallel.broadcast import (broadcast_fn, encode_broadcast,
+                                      install_broadcast, release_segments,
+                                      shm_enabled)
 from repro.parallel.executor import (BACKENDS, TrialExecutor,
                                      TrialFaultError, TrialOutcome, TrialRun,
                                      resolve_jobs, run_trials)
@@ -29,5 +38,6 @@ __all__ = [
     "BACKENDS", "TrialExecutor", "TrialFaultError", "TrialOutcome",
     "TrialRun", "resolve_jobs", "run_trials", "merge_trial_payload",
     "trial_seeds", "rng_for_trial", "TrialTask", "TrialPayload",
-    "run_trial_task",
+    "run_trial_task", "broadcast_fn", "encode_broadcast",
+    "install_broadcast", "release_segments", "shm_enabled",
 ]

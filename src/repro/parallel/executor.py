@@ -39,7 +39,7 @@ import pickle
 from concurrent.futures import FIRST_COMPLETED, Future
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from time import perf_counter
 from traceback import format_exc
 from typing import Any, Dict, List, Optional, Sequence
@@ -48,6 +48,8 @@ from repro.obs import metrics as obs_metrics
 from repro.obs import runtime as obs_runtime
 from repro.obs import trace as obs_trace
 from repro.obs.trace import span
+from repro.parallel.broadcast import (encode_broadcast, install_broadcast,
+                                      release_segments)
 from repro.parallel.merge import merge_trial_payload
 from repro.parallel.rngshard import rng_for_trial, trial_seeds
 from repro.parallel.worker import TrialFn, TrialPayload, TrialTask, run_trial_task
@@ -153,6 +155,7 @@ def _inline_payload(task: TrialTask) -> TrialPayload:
     """
     t0 = perf_counter()
     try:
+        assert task.fn is not None      # inline tasks keep their callable
         result = task.fn(task.index, rng_for_trial(task.seed))
     except Exception as exc:            # noqa: BLE001 — recorded as fault
         return TrialPayload(index=task.index, ok=False, error=repr(exc),
@@ -277,22 +280,44 @@ class TrialExecutor:
 
     def _run_process(self, tasks: List[TrialTask],
                      jobs: int) -> List[TrialOutcome]:
-        """Process-pool execution with a thread/serial safety net."""
+        """Process-pool execution with a thread/serial safety net.
+
+        The grid callable is identical across tasks (``run`` builds
+        every task from one ``fn``), so it is pickled ONCE here and
+        broadcast to each worker via the pool initializer; the tasks
+        themselves travel with ``fn=None`` — per-trial submissions ship
+        only an index and a seed. Large read-only arrays inside the
+        callable ride shared memory where available
+        (:mod:`repro.parallel.broadcast`).
+        """
+        blob, segments = encode_broadcast(tasks[0].fn)
+        obs_metrics.inc("parallel.broadcasts")
+        obs_metrics.inc("parallel.broadcast_payload_bytes", len(blob))
+        if segments:
+            obs_metrics.inc("parallel.broadcast_shm_bytes",
+                            sum(seg.size for seg in segments))
         try:
-            pool = ProcessPoolExecutor(max_workers=jobs)
-        except (OSError, NotImplementedError, ImportError) as exc:
-            logger.warning("cannot start a process pool (%s); falling back "
-                           "to the thread backend", exc)
-            obs_metrics.inc("parallel.thread_fallbacks")
-            return self._run_pool(tasks, ThreadPoolExecutor(max_workers=jobs),
-                                  process_mode=False)
-        try:
-            return self._run_pool(tasks, pool, process_mode=True)
-        except BrokenProcessPool:
-            logger.warning("process pool broke mid-grid; rerunning the "
-                           "unfinished trials serially")
-            obs_metrics.inc("parallel.serial_fallbacks")
-            return self._run_serial(tasks)
+            try:
+                pool = ProcessPoolExecutor(max_workers=jobs,
+                                           initializer=install_broadcast,
+                                           initargs=(blob,))
+            except (OSError, NotImplementedError, ImportError) as exc:
+                logger.warning("cannot start a process pool (%s); falling "
+                               "back to the thread backend", exc)
+                obs_metrics.inc("parallel.thread_fallbacks")
+                return self._run_pool(
+                    tasks, ThreadPoolExecutor(max_workers=jobs),
+                    process_mode=False)
+            stripped = [replace(task, fn=None) for task in tasks]
+            try:
+                return self._run_pool(stripped, pool, process_mode=True)
+            except BrokenProcessPool:
+                logger.warning("process pool broke mid-grid; rerunning the "
+                               "unfinished trials serially")
+                obs_metrics.inc("parallel.serial_fallbacks")
+                return self._run_serial(tasks)
+        finally:
+            release_segments(segments)
 
     def _run_pool(self, tasks: List[TrialTask], pool: Any,
                   process_mode: bool) -> List[TrialOutcome]:

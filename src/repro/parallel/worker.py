@@ -44,11 +44,17 @@ TrialFn = Callable[[int, np.random.Generator], Any]
 
 @dataclass
 class TrialTask:
-    """One trial's shippable work order."""
+    """One trial's shippable work order.
+
+    ``fn=None`` means "use the grid callable the pool initializer
+    broadcast to this worker" (:mod:`repro.parallel.broadcast`) — the
+    process backend strips the shared callable from every task so each
+    trial ships only its index and seed.
+    """
 
     index: int
     seed: SeedLike
-    fn: TrialFn
+    fn: Optional[TrialFn]
     obs_active: bool = False
 
 
@@ -82,7 +88,15 @@ def run_trial_task(task: TrialTask) -> TrialPayload:
     t0 = perf_counter()
     ok, result, error, tb = True, None, None, None
     try:
-        result = task.fn(task.index, rng_for_trial(task.seed))
+        fn = task.fn
+        if fn is None:
+            from repro.parallel.broadcast import broadcast_fn
+            fn = broadcast_fn()
+            if fn is None:
+                raise RuntimeError(
+                    "task carries no callable and no grid broadcast is "
+                    "installed in this worker")
+        result = fn(task.index, rng_for_trial(task.seed))
     except Exception as exc:            # noqa: BLE001 — shipped to parent
         ok, result = False, None
         error, tb = repr(exc), _traceback.format_exc()

@@ -1,0 +1,19 @@
+"""Fixtures for the artifact-cache tests."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import runtime
+
+
+@pytest.fixture
+def obs_on():
+    """Enable obs collection with empty state; restore on exit."""
+    was_active = runtime.enabled()
+    obs.reset()
+    runtime.enable()
+    yield obs
+    runtime._STATE.active = was_active
+    obs.reset()

@@ -1,0 +1,90 @@
+"""Stage-key derivation: every ingredient must move the key."""
+
+import numpy as np
+import pytest
+
+from repro.cache import (STAGE_VERSIONS, digest_array, digest_arrays,
+                         fingerprint, stage_key)
+
+
+class TestDigestArray:
+    def test_value_sensitivity(self):
+        a = np.arange(6, dtype=np.float64)
+        b = a.copy()
+        b[3] += 1e-12
+        assert digest_array(a) != digest_array(b)
+
+    def test_dtype_sensitivity(self):
+        a = np.arange(6, dtype=np.float64)
+        assert digest_array(a) != digest_array(a.astype(np.float32))
+
+    def test_shape_sensitivity(self):
+        a = np.arange(6, dtype=np.float64)
+        assert digest_array(a) != digest_array(a.reshape(2, 3))
+
+    def test_layout_insensitivity(self):
+        """A transposed view digests like its contiguous copy."""
+        a = np.arange(12, dtype=np.float64).reshape(3, 4).T
+        assert not a.flags.c_contiguous
+        assert digest_array(a) == digest_array(np.ascontiguousarray(a))
+
+
+class TestDigestArrays:
+    def test_order_independent_name_sensitive(self):
+        u, v = np.arange(3.0), np.arange(4.0)
+        assert digest_arrays({"u": u, "v": v}) == \
+            digest_arrays({"v": v, "u": u})
+        assert digest_arrays({"u": u, "v": v}) != \
+            digest_arrays({"u": u, "w": v})
+
+
+class TestFingerprint:
+    def test_type_distinctions(self):
+        # bool/int/float/str of "the same" value must not collide.
+        prints = {fingerprint(v) for v in (True, 1, 1.0, "1")}
+        assert len(prints) == 4
+
+    def test_float_full_precision(self):
+        assert fingerprint(0.1) != fingerprint(0.1 + 1e-16)
+        assert fingerprint(np.float64(0.5)) == fingerprint(0.5)
+
+    def test_nested_containers(self):
+        a = fingerprint({"m": 16, "pwt": (1, 2.5, None)})
+        b = fingerprint({"m": 16, "pwt": (1, 2.5, 0)})
+        assert a != b
+        assert fingerprint({"x": 1, "y": 2}) == fingerprint({"y": 2, "x": 1})
+
+    def test_rejects_unknown_types_loudly(self):
+        from repro.utils.rng import make_rng
+        with pytest.raises(TypeError, match="cannot fingerprint"):
+            fingerprint(object())
+        with pytest.raises(TypeError):
+            # RNG generators are the canonical non-ingredient (DESIGN.md).
+            fingerprint({"rng": make_rng(0)})
+
+
+class TestStageKey:
+    def test_component_value_and_name_sensitivity(self):
+        base = stage_key("lut", bits=2, sigma=0.4)
+        assert stage_key("lut", bits=2, sigma=0.5) != base
+        assert stage_key("lut", nbits=2, sigma=0.4) != base
+        assert stage_key("lut", sigma=0.4, bits=2) == base    # kwarg order
+
+    def test_stage_salt_separates_stages(self):
+        assert stage_key("lut", x=1) != stage_key("quantize", x=1)
+
+    def test_version_bump_invalidates(self, monkeypatch):
+        before = stage_key("lut", x=1)
+        monkeypatch.setitem(STAGE_VERSIONS, "lut", STAGE_VERSIONS["lut"] + 1)
+        assert stage_key("lut", x=1) != before
+
+    def test_array_components(self):
+        w = np.linspace(-1, 1, 8)
+        assert stage_key("quantize", weights=w) != \
+            stage_key("quantize", weights=w * 1.0000001)
+        assert stage_key("quantize", weights=w) == \
+            stage_key("quantize", weights=w.copy())
+
+    def test_is_hex64(self):
+        key = stage_key("vawo", seed=7)
+        assert len(key) == 64 and set(key) <= set("0123456789abcdef")

@@ -1,0 +1,116 @@
+"""The cache's core guarantee: cached and uncached runs are bit-identical.
+
+Three deployments of the same trained model at the same seed — one with
+caching disabled (``REPRO_CACHE=0``), one against a cold store, one
+against the now-warm store — must agree bit-for-bit on every prepared
+layer and on every Monte-Carlo trial accuracy, serial or ``jobs=2``.
+The config deliberately exercises every seeded stage (Monte-Carlo LUT,
+stuck-at faults, gradient estimation) because those are exactly the
+stages where a careless cache would consume parent-stream randomness
+differently between hit and miss.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheStore
+from repro.core import DeployConfig, Deployer
+from repro.eval.accuracy import evaluate_deployment
+
+
+def _config():
+    # sigma high enough that trial accuracies genuinely vary even under
+    # VAWO* — identical results must come from identical streams.
+    return DeployConfig.from_method(
+        "vawo*", sigma=2.5, granularity=8,
+        lut_source="monte_carlo", lut_k_sets=4, lut_j_cycles=4,
+        saf_rates=(0.05, 0.05))
+
+
+def _layer_state(deployer):
+    """Every array the pipeline prepared, flattened for comparison."""
+    out = {}
+    out["lut.mean"] = deployer.lut.mean
+    out["lut.var"] = deployer.lut.var
+    for prep in deployer.layers:
+        out[f"{prep.path}.ntw"] = prep.ntw
+        out[f"{prep.path}.scale"] = np.float64(prep.scale)
+        out[f"{prep.path}.zero_point"] = np.int64(prep.zero_point)
+        if prep.grads is not None:
+            out[f"{prep.path}.grads"] = prep.grads
+        if prep.assignment is not None:
+            out[f"{prep.path}.ctw"] = prep.assignment.ctw
+            out[f"{prep.path}.registers"] = prep.assignment.registers
+            out[f"{prep.path}.complement"] = prep.assignment.complement
+    return out
+
+
+def _assert_same_state(a, b):
+    assert set(a) == set(b)
+    for name in a:
+        assert np.array_equal(np.asarray(a[name]), np.asarray(b[name])), name
+
+
+@pytest.fixture
+def deployments(trained_tiny_mlp, blob_data, tmp_path, monkeypatch):
+    """(uncached, cold-cache, warm-cache) deployers at one seed."""
+    store = CacheStore(tmp_path / "cache")
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    uncached = Deployer(trained_tiny_mlp, blob_data, _config(), rng=11)
+    cold = Deployer(trained_tiny_mlp, blob_data, _config(), rng=11,
+                    cache=store)
+    warm = Deployer(trained_tiny_mlp, blob_data, _config(), rng=11,
+                    cache=store)
+    return uncached, cold, warm, store
+
+
+class TestDeploymentParity:
+    def test_layer_state_bitwise_identical(self, deployments):
+        uncached, cold, warm, store = deployments
+        assert len(store.artifacts()) > 0         # the cache was used
+        _assert_same_state(_layer_state(uncached), _layer_state(cold))
+        _assert_same_state(_layer_state(uncached), _layer_state(warm))
+
+    def test_trial_results_bitwise_identical(self, deployments, blob_data):
+        uncached, cold, warm, _ = deployments
+        base = evaluate_deployment(uncached, blob_data, n_trials=3,
+                                   rng=5, jobs=1)
+        assert len(set(base.accuracies)) > 1      # trials genuinely vary
+        for deployer in (cold, warm):
+            res = evaluate_deployment(deployer, blob_data, n_trials=3,
+                                      rng=5, jobs=1)
+            assert res.accuracies == base.accuracies
+
+    def test_warm_parallel_matches_uncached_serial(self, deployments,
+                                                   blob_data):
+        """Cache and broadcast compose: warm + jobs=2 == uncached + serial."""
+        uncached, _, warm, _ = deployments
+        serial = evaluate_deployment(uncached, blob_data, n_trials=3,
+                                     rng=5, jobs=1)
+        par = evaluate_deployment(warm, blob_data, n_trials=3,
+                                  rng=5, jobs=2)
+        assert par.accuracies == serial.accuracies
+
+    def test_parent_stream_advances_identically(self, trained_tiny_mlp,
+                                                blob_data, tmp_path,
+                                                monkeypatch):
+        """A hit consumes exactly the randomness a miss consumes.
+
+        Deploy twice from one shared Generator — cold then warm. If the
+        warm construction skipped a ``derive_seed`` draw, the *next*
+        draw from the parent stream would shift.
+        """
+        from repro.utils.rng import make_rng
+        store = CacheStore(tmp_path / "cache")
+        monkeypatch.setenv("REPRO_CACHE", "0")
+
+        def next_draw(cache):
+            rng = make_rng(42)
+            Deployer(trained_tiny_mlp, blob_data, _config(), rng=rng,
+                     cache=cache)
+            return rng.integers(0, 2**31)
+
+        uncached = next_draw(None)
+        cold = next_draw(store)
+        warm = next_draw(store)
+        assert uncached == cold == warm

@@ -1,0 +1,206 @@
+"""CacheStore contract: atomicity, corruption recovery, LRU eviction."""
+
+import json
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheStore, stage_key
+from repro.cache.store import resolve_store
+from repro.obs import metrics as obs_metrics
+from repro.utils.rng import make_rng
+from repro.utils.serialization import SerializationError
+
+KEY = stage_key("lut", probe=1)
+KEY2 = stage_key("lut", probe=2)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CacheStore(tmp_path / "cache")
+
+
+def family(seed=0, n=16):
+    rng = make_rng(seed)
+    return {"mean": rng.normal(size=n),
+            "var": rng.random(n).astype(np.float32)}
+
+
+class TestRoundTrip:
+    def test_put_get_bit_identical(self, store):
+        arrays = family()
+        store.put(KEY, arrays, stage="lut")
+        back = store.get(KEY, stage="lut")
+        assert set(back) == {"mean", "var"}
+        for name in arrays:
+            assert back[name].dtype == arrays[name].dtype
+            assert np.array_equal(back[name], arrays[name])
+
+    def test_miss_returns_none(self, store):
+        assert store.get(KEY) is None
+        assert not store.contains(KEY)
+
+    def test_fetch_computes_once(self, store):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return family()
+
+        first = store.fetch(KEY, compute, stage="lut")
+        second = store.fetch(KEY, compute, stage="lut")
+        assert len(calls) == 1
+        assert np.array_equal(first["mean"], second["mean"])
+
+    def test_metadata_roundtrip(self, store):
+        store.put(KEY, family(), stage="lut", metadata={"method": "vawo*"})
+        meta = store.metadata(KEY)
+        assert meta["stage"] == "lut" and meta["method"] == "vawo*"
+        assert meta["key"] == KEY
+
+    def test_meta_name_reserved(self, store):
+        with pytest.raises(ValueError, match="reserved"):
+            store.put(KEY, {"__meta__": np.zeros(1)})
+
+    def test_keys_validated(self, store):
+        with pytest.raises(ValueError, match="lowercase hex"):
+            store.path_for("../../etc/passwd")
+
+
+class TestCorruptionRecovery:
+    def test_garbage_artifact_discarded_as_miss(self, store, obs_on):
+        path = store.path_for(KEY)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"this is not an npz archive")
+        assert store.get(KEY, stage="lut") is None
+        assert not path.exists()                  # discarded, not left
+        assert obs_metrics.REGISTRY.counter_value("cache.corrupt") == 1
+        assert obs_metrics.REGISTRY.counter_value("cache.misses.lut") == 1
+        # The next put/get cycle works normally again.
+        store.put(KEY, family(), stage="lut")
+        assert store.get(KEY, stage="lut") is not None
+
+    def test_truncated_artifact_discarded(self, store):
+        store.put(KEY, family(n=512))
+        path = store.path_for(KEY)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:len(blob) // 2])
+        assert store.get(KEY) is None
+        assert not path.exists()
+
+    def test_corrupt_metadata_raises_serialization_error(self, store):
+        path = store.path_for(KEY)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"junk")
+        with pytest.raises(SerializationError):
+            store.metadata(KEY)
+
+    def test_no_temp_files_left_behind(self, store):
+        store.put(KEY, family())
+        leftovers = [p for p in store.directory.rglob(".tmp-*")]
+        assert leftovers == []
+
+
+class TestEviction:
+    def put_sized(self, store, key, n, seed=0):
+        store.put(key, {"data": np.zeros(n, dtype=np.uint8) + seed})
+
+    def test_oldest_evicted_first(self, tmp_path, obs_on):
+        store = CacheStore(tmp_path, max_bytes=3000)
+        keys = [stage_key("lut", probe=i) for i in range(4)]
+        for i, key in enumerate(keys):
+            self.put_sized(store, key, 1024, seed=i)
+            os.utime(store.path_for(key), (1000 + i, 1000 + i))
+        # ~2 artifacts fit under the cap; the oldest must be gone and
+        # the newest (just written) must survive.
+        assert not store.contains(keys[0])
+        assert store.contains(keys[-1])
+        assert store.size_bytes() <= 3000
+        assert obs_metrics.REGISTRY.counter_value("cache.evictions") >= 1
+
+    def test_hit_refreshes_lru_rank(self, tmp_path):
+        store = CacheStore(tmp_path, max_bytes=None)
+        keys = [stage_key("lut", probe=i) for i in range(3)]
+        self.put_sized(store, keys[0], 1024)
+        artifact_bytes = store.size_bytes()
+        store.max_bytes = int(2.5 * artifact_bytes)   # two fit, three don't
+        self.put_sized(store, keys[1], 1024)
+        for i, key in enumerate(keys[:2]):
+            os.utime(store.path_for(key), (1000 + i, 1000 + i))
+        assert store.get(keys[0]) is not None     # bumps keys[0]'s clock
+        self.put_sized(store, keys[2], 1024)      # forces one eviction
+        assert store.contains(keys[0])
+        assert not store.contains(keys[1])
+
+    def test_own_write_never_evicted(self, tmp_path):
+        store = CacheStore(tmp_path, max_bytes=512)
+        self.put_sized(store, KEY, 4096)          # alone exceeds the cap
+        assert store.contains(KEY)
+
+    def test_rejects_nonpositive_cap(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            CacheStore(tmp_path, max_bytes=0)
+
+
+def _race_put(directory, key, seed):
+    store = CacheStore(directory)
+    store.put(key, family(seed=seed, n=4096), stage="lut",
+              metadata={"writer": int(seed)})
+    return True
+
+
+class TestConcurrentWriters:
+    def test_two_processes_racing_one_key(self, tmp_path):
+        """Both writers succeed; exactly one intact artifact remains."""
+        ctx = multiprocessing.get_context("spawn")
+        procs = [ctx.Process(target=_race_put, args=(str(tmp_path), KEY, s))
+                 for s in (1, 2)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+        store = CacheStore(tmp_path)
+        back = store.get(KEY)
+        assert back is not None                   # readable, not torn
+        writer = store.metadata(KEY)["writer"]
+        assert writer in (1, 2)
+        assert np.array_equal(back["mean"], family(seed=writer, n=4096)["mean"])
+        assert len(store.artifacts()) == 1
+        assert not list(store.directory.rglob(".tmp-*"))
+
+
+class TestEnvResolution:
+    def test_disabled_values(self, monkeypatch):
+        for value in ("0", "off", "none", "disabled", " OFF "):
+            monkeypatch.setenv("REPRO_CACHE", value)
+            assert resolve_store() is None
+
+    def test_env_path_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "envcache"))
+        store = resolve_store()
+        assert store is not None
+        assert store.directory == tmp_path / "envcache"
+
+    def test_explicit_dir_overrides_disable(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        store = resolve_store(tmp_path / "explicit")
+        assert store is not None and store.directory.name == "explicit"
+
+    def test_max_mb_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "7")
+        store = resolve_store(tmp_path / "capped")
+        assert store.max_bytes == 7 * 1024 * 1024
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "banana")
+        with pytest.raises(ValueError, match="REPRO_CACHE_MAX_MB"):
+            resolve_store(tmp_path / "capped2")
+
+
+class TestClear:
+    def test_clear_removes_everything(self, store):
+        store.put(KEY, family())
+        store.put(KEY2, family(1))
+        assert store.clear() == 2
+        assert store.artifacts() == [] and store.size_bytes() == 0

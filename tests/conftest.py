@@ -12,6 +12,19 @@ from repro.nn.tensor import Tensor
 from repro.utils.rng import make_rng
 
 
+@pytest.fixture(autouse=True)
+def _isolated_artifact_cache(tmp_path, monkeypatch):
+    """Point the artifact cache at a per-test temp store.
+
+    Without this, any test that deploys through the default store
+    (``.cache/repro``) would see artifacts left by earlier runs — a
+    second ``pytest`` invocation would cache-hit stages whose side
+    effects (counters, spans) the test asserts on. Tests that exercise
+    env resolution or disabling override the variable themselves.
+    """
+    monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "artifact-cache"))
+
+
 @pytest.fixture
 def rng():
     return make_rng(0)

@@ -51,7 +51,7 @@ class TestWorkloadCaching:
 
     def test_cache_file_created(self, tmp_path):
         build_workload("lenet", "quick", seed=124, cache_dir=tmp_path)
-        assert list(tmp_path.glob("lenet-quick-124-*.npz"))
+        assert list(tmp_path.glob("objects/*/*.npz"))
 
 
 class TestTable2Runner:

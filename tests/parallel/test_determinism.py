@@ -77,11 +77,9 @@ class TestPMTrials:
                     reason="trains VGG-16 twice; set REPRO_SLOW_TESTS=1")
 class TestTable3Full:
     def test_table3_parallel_matches_serial(self, tmp_path, monkeypatch):
-        from repro.eval import experiments
         from repro.eval.experiments import run_table3
 
-        monkeypatch.setattr(experiments, "DEFAULT_CACHE",
-                            tmp_path / "cache")
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "cache"))
         serial = run_table3(preset="quick", n_trials=2, seed=0, jobs=1)
         par = run_table3(preset="quick", n_trials=2, seed=0, jobs=2)
         assert [(r.method, r.accuracy_loss) for r in serial] == \

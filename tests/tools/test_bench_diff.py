@@ -8,10 +8,13 @@ from tools.bench_diff import (SIDECAR_SCHEMA, compare, load_sidecars, main,
                               run_diff)
 
 
-def write_sidecar(directory, name, elapsed_s, schema=SIDECAR_SCHEMA):
+def write_sidecar(directory, name, elapsed_s, schema=SIDECAR_SCHEMA,
+                  backend=None):
     directory.mkdir(parents=True, exist_ok=True)
     payload = {"schema": schema, "name": name, "preset": "quick",
                "elapsed_s": elapsed_s}
+    if backend is not None:
+        payload["backend"] = backend
     (directory / f"{name}.json").write_text(json.dumps(payload))
 
 
@@ -55,6 +58,44 @@ class TestCompare:
         assert by["b"].regressed is True and by["b"].ratio == 2.0
         # Sub-floor baselines never gate, however bad the ratio looks.
         assert by["tiny"].skipped_short and not by["tiny"].regressed
+
+
+class TestBackendGating:
+    def one_comparison(self, tmp_path, base_backend, cur_backend):
+        write_sidecar(tmp_path / "base", "fig5a", 10.0,
+                      backend=base_backend)
+        write_sidecar(tmp_path / "cur", "fig5a", 50.0,
+                      backend=cur_backend)
+        comps = compare(load_sidecars(tmp_path / "base"),
+                        load_sidecars(tmp_path / "cur"),
+                        max_slowdown=1.5, min_baseline_s=2.0)
+        assert len(comps) == 1
+        return comps[0]
+
+    def test_backend_mismatch_never_regresses(self, tmp_path):
+        c = self.one_comparison(tmp_path, "vectorized", "reference")
+        assert c.skipped_backend and not c.regressed
+
+    def test_same_backend_still_gates(self, tmp_path):
+        c = self.one_comparison(tmp_path, "vectorized", "vectorized")
+        assert not c.skipped_backend and c.regressed
+
+    def test_untagged_sidecars_compare_with_anything(self, tmp_path):
+        # Pre-upgrade baselines lack the backend field; they must keep
+        # gating rather than silently skipping every comparison.
+        for base_backend, cur_backend in ((None, "reference"),
+                                          ("vectorized", None),
+                                          (None, None)):
+            c = self.one_comparison(tmp_path, base_backend, cur_backend)
+            assert not c.skipped_backend and c.regressed
+
+    def test_gate_passes_on_backend_switch(self, tmp_path, capsys):
+        write_sidecar(tmp_path / "base", "fig5a", 10.0,
+                      backend="vectorized")
+        write_sidecar(tmp_path / "cur", "fig5a", 99.0,
+                      backend="reference")
+        assert gate(tmp_path) == 0
+        assert "backend-skip" in capsys.readouterr().out
 
 
 class TestGate:

@@ -19,6 +19,11 @@ Design points:
   interpreter startup noise, not by the code under test.
 - New benches (no baseline entry) and removed benches (baseline entry
   with no current run) are reported informationally, never fatally.
+- Sidecars are only gated against a baseline recorded on the **same
+  compute backend**: vectorized-vs-reference timings differ by orders
+  of magnitude, so a backend switch would read as a huge (and bogus)
+  regression. Mismatched pairs are reported as ``backend-skip``;
+  sidecars predating the ``backend`` field compare against anything.
 
 Usage::
 
@@ -46,6 +51,7 @@ class BenchEntry:
     name: str
     elapsed_s: float
     preset: str
+    backend: Optional[str]
     path: Path
 
 
@@ -58,6 +64,7 @@ class Comparison:
     current_s: float
     ratio: float
     skipped_short: bool
+    skipped_backend: bool
     regressed: bool
 
 
@@ -86,10 +93,25 @@ def load_sidecars(directory: Path) -> Dict[str, BenchEntry]:
             print(f"bench-diff: skipping malformed sidecar {path}",
                   file=sys.stderr)
             continue
-        entries[name] = BenchEntry(name=name, elapsed_s=float(elapsed),
-                                   preset=str(payload.get("preset", "?")),
-                                   path=path)
+        backend = payload.get("backend")
+        entries[name] = BenchEntry(
+            name=name, elapsed_s=float(elapsed),
+            preset=str(payload.get("preset", "?")),
+            backend=str(backend) if isinstance(backend, str) else None,
+            path=path)
     return entries
+
+
+def _backends_comparable(baseline: BenchEntry, current: BenchEntry) -> bool:
+    """Whether two sidecars were recorded on the same compute backend.
+
+    Sidecars written before the ``backend`` field existed (``None``)
+    are comparable with anything — a missing tag must not silently
+    drop every comparison after an upgrade.
+    """
+    if baseline.backend is None or current.backend is None:
+        return True
+    return baseline.backend == current.backend
 
 
 def compare(baseline: Dict[str, BenchEntry],
@@ -102,18 +124,22 @@ def compare(baseline: Dict[str, BenchEntry],
         base_s = baseline[name].elapsed_s
         cur_s = current[name].elapsed_s
         ratio = cur_s / base_s if base_s > 0 else float("inf")
-        skipped = base_s < min_baseline_s
+        skipped_short = base_s < min_baseline_s
+        skipped_backend = not _backends_comparable(baseline[name],
+                                                   current[name])
         out.append(Comparison(
             name=name, baseline_s=base_s, current_s=cur_s, ratio=ratio,
-            skipped_short=skipped,
-            regressed=(not skipped and ratio > max_slowdown)))
+            skipped_short=skipped_short, skipped_backend=skipped_backend,
+            regressed=(not skipped_short and not skipped_backend
+                       and ratio > max_slowdown)))
     out.sort(key=lambda c: c.ratio, reverse=True)
     return out
 
 
 def _fmt_row(c: Comparison) -> str:
     flag = "REGRESSED" if c.regressed else \
-        ("short-skip" if c.skipped_short else "ok")
+        ("backend-skip" if c.skipped_backend else
+         "short-skip" if c.skipped_short else "ok")
     return (f"  {c.name:<20}{c.baseline_s:>10.2f}s{c.current_s:>10.2f}s"
             f"{c.ratio:>8.2f}x  {flag}")
 
@@ -156,8 +182,10 @@ def run_diff(baseline_dir: Path, current_dir: Path, max_slowdown: float,
     new = sorted(set(current) - set(baseline))
     gone = sorted(set(baseline) - set(current))
 
+    backend_skips = sum(1 for c in comparisons if c.skipped_backend)
     print(f"bench-diff: {len(comparisons)} compared, "
-          f"{len(new)} new, {len(gone)} missing "
+          f"{len(new)} new, {len(gone)} missing, "
+          f"{backend_skips} backend-skipped "
           f"(max-slowdown {max_slowdown:.2f}x, "
           f"short floor {min_baseline_s:.1f}s)", file=out)
     if comparisons:
