@@ -9,11 +9,14 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== repro-lint =="
-python -m tools.lint src tests benchmarks
+echo "== repro-lint (R1-R12, JSON sidecar) =="
+python -m tools.lint src tests benchmarks --json lint-report.json
 
 echo "== repro-lint R6 gate (no print in library) =="
 python -m tools.lint --select R6 src
+
+echo "== repro-lint R8 gate (stage hashes match committed baseline) =="
+python -m tools.lint --select R8 src
 
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff =="

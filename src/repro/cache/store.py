@@ -147,7 +147,7 @@ class CacheStore:
                 np.savez(fh, __meta__=meta_blob,  # npz-ok (file object)
                          **{k: np.asarray(v) for k, v in arrays.items()})
             os.replace(tmp_name, path)
-        except BaseException:
+        except BaseException:  # noqa: BLE001 — cleanup only; the failure is re-raised
             Path(tmp_name).unlink(missing_ok=True)
             raise
         self._count("writes", stage)
@@ -296,7 +296,7 @@ def resolve_store(directory: Optional[PathLike] = None,
     cache_key = (str(Path(directory)), _env_max_bytes())
     store = _STORES.get(cache_key)
     if store is None:
-        store = _STORES[cache_key] = CacheStore(
+        store = _STORES[cache_key] = CacheStore(  # fork-ok — per-process handle; data is on disk
             cache_key[0], max_bytes=cache_key[1])
     return store
 

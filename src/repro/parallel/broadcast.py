@@ -89,7 +89,7 @@ def _attach_shm_array(name: str, shape: Tuple[int, ...],
             shm = shared_memory.SharedMemory(name=name)
         finally:
             resource_tracker.register = original_register
-    _WORKER_SEGMENTS.append(shm)
+    _WORKER_SEGMENTS.append(shm)  # fork-ok — worker-local pin keeping attached segments mapped
     array: np.ndarray = np.ndarray(shape, dtype=np.dtype(dtype_str),
                                    buffer=shm.buf)
     array.flags.writeable = False
@@ -162,7 +162,7 @@ def install_broadcast(blob: bytes) -> None:
     segments stay mapped for the worker's lifetime.
     """
     global _BROADCAST_FN
-    _BROADCAST_FN = pickle.loads(blob)
+    _BROADCAST_FN = pickle.loads(blob)  # fork-ok — initializer slot, set once per worker
 
 
 def broadcast_fn() -> Optional[Any]:

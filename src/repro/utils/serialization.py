@@ -83,7 +83,7 @@ def load_arrays(path: PathLike) -> Dict[str, np.ndarray]:
             return {k: data[k] for k in data.files}
     except FileNotFoundError:
         raise
-    except Exception as exc:
+    except Exception as exc:  # noqa: BLE001 — any unreadable archive becomes SerializationError
         raise SerializationError(
             f"{p} exists but is not a readable .npz archive "
             f"({type(exc).__name__}: {exc}); it may be truncated or "

@@ -1,0 +1,27 @@
+"""R10 clean fixture: placed at src/repro/parallel/state.py.
+
+Results flow back as return values; the one deliberate initializer
+slot carries a justified marker; segments pair with close/unlink.
+"""
+
+from multiprocessing import shared_memory
+
+_POOL_SLOT = None
+
+
+def install(blob):
+    global _POOL_SLOT
+    _POOL_SLOT = blob  # fork-ok — initializer slot, set once per worker
+
+
+def run_trial_task(trial):
+    return trial
+
+
+def make_segment(nbytes):
+    return shared_memory.SharedMemory(create=True, size=nbytes)
+
+
+def release(segment):
+    segment.close()
+    segment.unlink()

@@ -1,0 +1,22 @@
+"""R10 violating fixture: placed at src/repro/parallel/state.py.
+
+Worker-reachable code rebinding and mutating module-level state, plus
+a SharedMemory segment created in a module that never references
+close/unlink.
+"""
+
+from multiprocessing import shared_memory
+
+_RESULTS = []
+_CURRENT = None
+
+
+def run_trial_task(trial):
+    global _CURRENT
+    _CURRENT = trial
+    _RESULTS.append(trial)
+    return trial
+
+
+def make_segment(nbytes):
+    return shared_memory.SharedMemory(create=True, size=nbytes)

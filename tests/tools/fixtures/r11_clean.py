@@ -1,0 +1,22 @@
+"""R11 clean fixture: placed at src/repro/core/driver.py.
+
+Spans opened structurally: with-statement, decorator, or a justified
+marker for the vetted exception.
+"""
+
+from repro.obs.trace import span
+
+
+@span("decorated")
+def decorated(x):
+    return x
+
+
+def run(x):
+    with span("compute"):
+        return decorated(x)
+
+
+def vetted(x):
+    handle = span("held")  # span-ok — closed by the caller's finally
+    return x, handle

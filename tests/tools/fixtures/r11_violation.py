@@ -1,0 +1,13 @@
+"""R11 violating fixture: placed at src/repro/core/driver.py.
+
+A free-floating span (nothing guarantees its pop) and a raw
+TRACER.push.
+"""
+
+from repro.obs.trace import TRACER, span
+
+
+def run(x):
+    handle = span("compute")
+    TRACER.push("manual")
+    return x, handle

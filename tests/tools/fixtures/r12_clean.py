@@ -1,0 +1,15 @@
+"""R12 clean fixture: narrow handlers, justified breadth."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except OSError:
+        return None
+
+
+def fault_barrier(fn):
+    try:
+        return fn()
+    except Exception:  # noqa: BLE001 — trial faults become results
+        return None

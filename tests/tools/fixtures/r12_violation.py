@@ -1,0 +1,16 @@
+"""R12 violating fixture: broad handlers without justification."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except Exception:
+        return None
+
+
+def last_resort(fn):
+    try:
+        return fn()
+    # The bare except IS this fixture's point; keep ruff out of it.
+    except:  # noqa: E722
+        return None

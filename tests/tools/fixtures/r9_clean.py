@@ -1,0 +1,15 @@
+"""R9 clean fixture: placed at src/repro/parallel/worker.py.
+
+Workers only consume the per-trial stream they are handed; generator
+construction is seeded and happens outside the fresh-entropy path.
+"""
+
+from repro.utils.rng import make_rng
+
+
+def run_trial_task(trial, rng):
+    return rng.normal()
+
+
+def rng_for_trial(seed):
+    return make_rng(seed)

@@ -1,0 +1,20 @@
+"""R9 violating fixture: placed at src/repro/parallel/worker.py.
+
+Every way a worker can break RNG discipline: a module-level generator
+(imported into each pool process), a raw ``default_rng`` inside a
+worker-reachable function, a fresh-entropy ``make_rng()``, and a read
+of the shared module-level stream.
+"""
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+_RNG = make_rng(123)
+
+
+def run_trial_task(trial):
+    local = np.random.default_rng()
+    fresh = make_rng()
+    shared = _RNG.normal()
+    return local.normal() + fresh.normal() + shared

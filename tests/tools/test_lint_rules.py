@@ -355,7 +355,7 @@ class TestInfrastructure:
 
     def test_unknown_select_code_rejected(self):
         with pytest.raises(ValueError, match="unknown rule"):
-            lint("x = 1\n", select=["R9"])
+            lint("x = 1\n", select=["R99"])
 
     def test_violation_rendering(self):
         v = Violation(path="a.py", line=3, col=5, code="R1", message="msg")
@@ -364,7 +364,8 @@ class TestInfrastructure:
     def test_all_rules_have_unique_codes(self):
         rule_codes = [r.code for r in ALL_RULES]
         assert len(rule_codes) == len(set(rule_codes))
-        assert rule_codes == sorted(rule_codes)
+        # Numeric order: R1..R9 then R10.., not lexicographic.
+        assert rule_codes == sorted(rule_codes, key=lambda c: int(c[1:]))
 
     def test_collect_files_skips_cache_dirs(self, tmp_path):
         (tmp_path / "pkg").mkdir()

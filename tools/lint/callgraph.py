@@ -1,0 +1,259 @@
+"""Shared module graph: one parse pass, functions, call/reference edges.
+
+The AST rules (R8-R12, :mod:`tools.lint.ast_rules`) all need the same
+expensive facts: which functions exist under which dotted names, who
+calls (or merely references) whom, and what a module binds at top
+level. :class:`ModuleGraph` computes those facts **once per lint run**
+from the :class:`~tools.lint.context.FileContext` objects the runner
+already built; parsing itself is cached by ``(path, content hash)``
+(:func:`get_context`), so re-linting an unchanged file never re-parses.
+
+Edge classes
+------------
+*strict* edges are resolvable dataflow: a call or bare reference whose
+target the import/alias machinery pins to exactly one project function
+(``run_vawo(...)`` after ``from repro.core.vawo import run_vawo``,
+``self._compute_gradients`` inside its class, a same-module name,
+or a re-export followed through a package ``__init__``). R8's stage
+hashing walks only strict edges so hashes never depend on coincidental
+name matches.
+
+*loose* edges add the conservative over-approximation reachability
+needs: an attribute call on an unknown receiver (``deployer.program()``)
+links to **every** project function of that name. R9/R10 use
+strict + loose closure — for "is this code reachable from a pool
+worker?" it is better to check too much than too little.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from tools.lint.context import FileContext
+
+__all__ = ["FunctionInfo", "ModuleGraph", "get_context", "clear_parse_cache"]
+
+#: Parse cache keyed by (normalised path, sha256 of the source) — the
+#: "cached by file content hash" guarantee of the single parse pass.
+_PARSE_CACHE: Dict[Tuple[str, str], FileContext] = {}
+_PARSE_CACHE_MAX = 4096
+
+
+def get_context(path: str, source: str) -> FileContext:
+    """A :class:`FileContext` for ``source``, reused while content matches."""
+    key = (path.replace("\\", "/"), hashlib.sha256(source.encode()).hexdigest())
+    ctx = _PARSE_CACHE.get(key)
+    if ctx is None:
+        if len(_PARSE_CACHE) >= _PARSE_CACHE_MAX:
+            _PARSE_CACHE.clear()
+        ctx = FileContext(key[0], source, ast.parse(source))
+        _PARSE_CACHE[key] = ctx
+    return ctx
+
+
+def clear_parse_cache() -> None:
+    """Drop every cached parse (tests that rewrite files in place)."""
+    _PARSE_CACHE.clear()
+
+
+@dataclass
+class FunctionInfo:
+    """One top-level function or method, with its resolved out-edges."""
+
+    qualname: str                       # module[.Class].name
+    name: str
+    module: str
+    class_name: Optional[str]
+    node: ast.AST                       # FunctionDef / AsyncFunctionDef
+    ctx: FileContext
+    strict: Set[str] = field(default_factory=set)
+    loose_names: Set[str] = field(default_factory=set)
+
+    @property
+    def lineno(self) -> int:
+        return int(getattr(self.node, "lineno", 1))
+
+
+@dataclass
+class GlobalInfo:
+    """One module-level name binding (for RNG-flow / fork-safety rules)."""
+
+    name: str
+    module: str
+    node: ast.AST                       # the assignment statement
+    value: Optional[ast.expr]
+    lineno: int
+
+
+class ModuleGraph:
+    """Project-wide function index + call graph over one set of files."""
+
+    def __init__(self, contexts: Sequence[FileContext]) -> None:
+        self.modules: Dict[str, FileContext] = {}
+        self.by_path: Dict[str, FileContext] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.by_name: Dict[str, List[str]] = {}
+        self.module_globals: Dict[str, Dict[str, GlobalInfo]] = {}
+        for ctx in contexts:
+            # Last context wins on (pathological) duplicate module names.
+            self.modules[ctx.module] = ctx
+            self.by_path[ctx.path] = ctx
+        for ctx in self.modules.values():
+            self._index_module(ctx)
+        for info in self.functions.values():
+            self._collect_edges(info)
+
+    # ------------------------------------------------------------------
+    # indexing
+    # ------------------------------------------------------------------
+    def _index_module(self, ctx: FileContext) -> None:
+        globals_here: Dict[str, GlobalInfo] = {}
+        self.module_globals[ctx.module] = globals_here
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(ctx, stmt, class_name=None)
+            elif isinstance(stmt, ast.ClassDef):
+                for sub in stmt.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._add_function(ctx, sub, class_name=stmt.name)
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                value = getattr(stmt, "value", None)
+                targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                           else [stmt.target])
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        globals_here[target.id] = GlobalInfo(
+                            name=target.id, module=ctx.module, node=stmt,
+                            value=value, lineno=stmt.lineno)
+
+    def _add_function(self, ctx: FileContext, node: ast.AST,
+                      class_name: Optional[str]) -> None:
+        name = node.name  # type: ignore[attr-defined]
+        qual = (f"{ctx.module}.{class_name}.{name}" if class_name
+                else f"{ctx.module}.{name}")
+        info = FunctionInfo(qualname=qual, name=name, module=ctx.module,
+                            class_name=class_name, node=node, ctx=ctx)
+        self.functions[qual] = info
+        self.by_name.setdefault(name, []).append(qual)
+
+    # ------------------------------------------------------------------
+    # name resolution
+    # ------------------------------------------------------------------
+    def resolve_function(self, module: str, dotted: str,
+                         _hops: int = 0) -> Optional[str]:
+        """Resolve ``dotted`` (seen from ``module``) to a known qualname.
+
+        Follows package re-exports: ``repro.cache.stage_key`` resolves
+        through ``repro/cache/__init__.py``'s ``from repro.cache.keys
+        import stage_key`` to ``repro.cache.keys.stage_key`` (bounded
+        at four hops so alias cycles terminate).
+        """
+        if _hops > 4:
+            return None
+        if dotted in self.functions:
+            return dotted
+        # Longest known-module prefix, then look the remainder up in
+        # that module's import aliases (a re-export) and recurse.
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            owner = self.modules.get(prefix)
+            if owner is None:
+                continue
+            remainder = parts[cut:]
+            candidate = f"{prefix}.{'.'.join(remainder)}"
+            if candidate in self.functions:
+                return candidate
+            target = owner.aliases.get(remainder[0])
+            if target is not None:
+                rest = remainder[1:]
+                rerouted = ".".join([target] + rest) if rest else target
+                return self.resolve_function(prefix, rerouted, _hops + 1)
+            return None
+        return None
+
+    def _resolve_local(self, info: FunctionInfo, name: str) -> Optional[str]:
+        """A bare name inside ``info``: import alias or same-module def."""
+        aliased = info.ctx.aliases.get(name)
+        if aliased is not None:
+            return self.resolve_function(info.module, aliased)
+        return self.resolve_function(info.module, f"{info.module}.{name}")
+
+    # ------------------------------------------------------------------
+    # edges
+    # ------------------------------------------------------------------
+    def _collect_edges(self, info: FunctionInfo) -> None:
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Attribute):
+                base = node.value
+                if (isinstance(base, ast.Name)
+                        and base.id in ("self", "cls")
+                        and info.class_name is not None):
+                    qual = f"{info.module}.{info.class_name}.{node.attr}"
+                    if qual in self.functions:
+                        info.strict.add(qual)
+                        continue
+                resolved = info.ctx.resolve_call_name(node)
+                if resolved is not None:
+                    target = self.resolve_function(info.module, resolved)
+                    if target is not None:
+                        info.strict.add(target)
+                        continue
+                # Unknown receiver: remember the method name for the
+                # loose (reachability) closure.
+                if node.attr in self.by_name:
+                    info.loose_names.add(node.attr)
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                target = self._resolve_local(info, node.id)
+                if target is not None:
+                    info.strict.add(target)
+        info.strict.discard(info.qualname)
+
+    def strict_callees(self, qualname: str) -> Set[str]:
+        info = self.functions.get(qualname)
+        return set(info.strict) if info is not None else set()
+
+    def loose_callees(self, qualname: str) -> Set[str]:
+        info = self.functions.get(qualname)
+        if info is None:
+            return set()
+        out = set(info.strict)
+        for name in info.loose_names:
+            out.update(self.by_name.get(name, ()))
+        out.discard(qualname)
+        return out
+
+    # ------------------------------------------------------------------
+    # closures
+    # ------------------------------------------------------------------
+    def closure(self, seeds: Iterable[str], strict_only: bool = False,
+                exclude_prefixes: Sequence[str] = ()) -> Set[str]:
+        """Transitive closure over call/reference edges from ``seeds``.
+
+        ``exclude_prefixes`` prunes whole subtrees by qualname prefix
+        (R8 uses it to keep observability plumbing out of stage hashes).
+        Seeds themselves are kept unless excluded.
+        """
+        out: Set[str] = set()
+        stack = [s for s in seeds if s in self.functions]
+        while stack:
+            qual = stack.pop()
+            if qual in out:
+                continue
+            if any(qual.startswith(p) for p in exclude_prefixes):
+                continue
+            out.add(qual)
+            edges = (self.strict_callees(qual) if strict_only
+                     else self.loose_callees(qual))
+            stack.extend(e for e in edges if e not in out)
+        return out
+
+    def functions_in_module(self, module: str) -> List[FunctionInfo]:
+        return [f for f in self.functions.values() if f.module == module]
+
+    def modules_with_prefix(self, prefix: str) -> List[str]:
+        return [m for m in self.modules
+                if m == prefix or m.startswith(prefix + ".")]

@@ -3,8 +3,42 @@
 from __future__ import annotations
 
 import ast
+import hashlib
 import re
+from pathlib import PurePosixPath
 from typing import Dict, List, Optional, Set
+
+#: Directory names that root an importable tree. ``src`` wins (package
+#: code lives under it); the others cover the non-package lint targets.
+_ROOT_MARKERS = ("tests", "benchmarks", "tools", "examples")
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for a source path, best effort.
+
+    ``src/repro/cache/keys.py`` -> ``repro.cache.keys`` (the *last*
+    ``src`` segment wins, so temp-dir fixture trees resolve the same
+    way the real tree does); ``tests/cache/test_keys.py`` ->
+    ``tests.cache.test_keys``; an ``__init__.py`` names its package.
+    Paths outside any known root fall back to their stem.
+    """
+    parts = PurePosixPath(path.replace("\\", "/")).parts
+    start = None
+    for i, part in enumerate(parts):
+        if part == "src":
+            start = i + 1
+    if start is None:
+        for marker in _ROOT_MARKERS:
+            if marker in parts:
+                start = parts.index(marker)
+                break
+    rel = list(parts[start:] if start is not None else parts[-1:])
+    if not rel:
+        return ""
+    rel[-1] = rel[-1][:-3] if rel[-1].endswith(".py") else rel[-1]
+    if rel[-1] == "__init__":
+        rel = rel[:-1]
+    return ".".join(p for p in rel if p)
 
 _DISABLE_LINE_RE = re.compile(
     r"#\s*repro-lint:\s*disable(?:=(?P<codes>[A-Z0-9, ]+))?")
@@ -28,6 +62,8 @@ class FileContext:
         self.tree = tree
         self.lines: List[str] = source.splitlines()
         self.aliases: Dict[str, str] = _collect_import_aliases(tree)
+        self.module: str = module_name_for_path(self.path)
+        self.content_hash: str = hashlib.sha256(source.encode()).hexdigest()
         self._line_disables: Dict[int, Optional[Set[str]]] = {}
         self._file_disables: Set[str] = set()
         self._file_disable_all = False

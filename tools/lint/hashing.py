@@ -1,0 +1,194 @@
+"""Normalized AST hashing for the cache-salt drift gate (rule R8).
+
+``repro.cache`` memoizes pipeline stages under content-addressed keys
+salted with :data:`repro.cache.keys.STAGE_VERSIONS`. The salt is the
+only thing standing between "I edited the LUT builder" and "the cache
+replays last week's LUT bit-for-bit" — and nothing used to check that
+the salt actually moved when the code did. This module closes the loop:
+
+1. **Discovery** — a *stage anchor* is any function that invokes the
+   ``Deployer._stage(...)`` memoization helper or builds a
+   ``stage_key(...)`` with a literal stage name
+   (:func:`discover_stages`); both spellings exist in the tree.
+2. **Hashing** — each stage hashes the *normalized* AST (docstrings
+   stripped, positions ignored — comments and formatting never enter)
+   of its anchors plus their strict transitive ``repro.*`` callees
+   (:func:`stage_hashes`). Observability plumbing (``repro.obs``,
+   ``repro.utils.logging``) is excluded: it cannot change artifact
+   content. Walking callees means editing ``run_vawo`` trips the
+   ``vawo`` stage even though the memoizing function itself is
+   untouched.
+3. **Baseline** — hashes + salts are committed to
+   ``tools/stage_hashes.json``. R8 compares the working tree against
+   that file; ``python -m tools.lint --update-baseline`` rewrites it
+   after a legitimate salt bump (see DESIGN.md §4c for the workflow).
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from tools.lint.callgraph import FunctionInfo, ModuleGraph
+
+__all__ = ["BASELINE_DOC", "discover_stages", "function_hash",
+           "load_baseline", "normalized_dump", "parse_stage_versions",
+           "stage_hashes", "write_baseline"]
+
+#: Qualname prefixes excluded from stage-hash closures: code that can
+#: never change what a cached artifact *contains*.
+HASH_EXCLUDE_PREFIXES = ("repro.obs", "repro.utils.logging")
+
+BASELINE_DOC = ("Committed AST fingerprints of every repro.cache stage "
+                "(rule R8). When a stage's hash drifts, bump its "
+                "STAGE_VERSIONS salt in src/repro/cache/keys.py and "
+                "regenerate this file with: "
+                "python -m tools.lint --update-baseline")
+
+
+def normalized_dump(node: ast.AST) -> str:
+    """Position-free, docstring-free dump of ``node``.
+
+    Reformatting, comments and docstring edits leave the dump unchanged;
+    any behavioural edit (operators, constants, call targets, control
+    flow) changes it. ``ast.dump`` without attributes already drops
+    line/column info, so only docstrings need explicit stripping.
+    """
+    node = copy.deepcopy(node)
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.Module, ast.ClassDef, ast.FunctionDef,
+                            ast.AsyncFunctionDef)):
+            body = sub.body
+            if (body and isinstance(body[0], ast.Expr)
+                    and isinstance(body[0].value, ast.Constant)
+                    and isinstance(body[0].value.value, str)):
+                sub.body = body[1:] or [ast.Pass()]
+    return ast.dump(node, include_attributes=False)
+
+
+def function_hash(info: FunctionInfo) -> str:
+    """SHA-256 of one function's normalized AST."""
+    return hashlib.sha256(normalized_dump(info.node).encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# stage discovery
+# ----------------------------------------------------------------------
+def _stage_literal(call: ast.Call) -> Optional[str]:
+    """The literal stage name of a ``_stage``/``stage_key`` call, if any."""
+    if not call.args:
+        return None
+    first = call.args[0]
+    if isinstance(first, ast.Constant) and isinstance(first.value, str):
+        return first.value
+    return None
+
+
+def _is_stage_call(graph: ModuleGraph, info: FunctionInfo,
+                   call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr == "_stage":
+        return True
+    if isinstance(func, ast.Name):
+        resolved = info.ctx.aliases.get(func.id)
+        if resolved is None and func.id == "stage_key":
+            return True
+        if resolved is not None:
+            target = graph.resolve_function(info.module, resolved)
+            name = target or resolved
+            return name.rsplit(".", 1)[-1] == "stage_key"
+    return False
+
+
+def discover_stages(graph: ModuleGraph) -> Dict[str, List[FunctionInfo]]:
+    """Map stage name -> the functions that memoize under that name."""
+    stages: Dict[str, List[FunctionInfo]] = {}
+    for info in graph.functions.values():
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            if not _is_stage_call(graph, info, node):
+                continue
+            stage = _stage_literal(node)
+            if stage is None:
+                continue
+            anchors = stages.setdefault(stage, [])
+            if info not in anchors:
+                anchors.append(info)
+    return stages
+
+
+def parse_stage_versions(graph: ModuleGraph) -> Optional[Dict[str, int]]:
+    """The literal ``STAGE_VERSIONS`` mapping, read from the AST.
+
+    Looked up without importing ``repro`` (the linter stays importless):
+    any graph module assigning a dict literal to ``STAGE_VERSIONS``
+    counts, preferring ``repro.cache.keys``. Returns ``None`` when no
+    such module is in the lint set.
+    """
+    candidates = []
+    for module, names in graph.module_globals.items():
+        binding = names.get("STAGE_VERSIONS")
+        if binding is not None and isinstance(binding.value, ast.Dict):
+            candidates.append((module, binding))
+    if not candidates:
+        return None
+    candidates.sort(key=lambda mb: (mb[0] != "repro.cache.keys", mb[0]))
+    _, binding = candidates[0]
+    try:
+        literal = ast.literal_eval(binding.value)
+    except ValueError:
+        return None
+    return {str(k): int(v) for k, v in literal.items()}
+
+
+def stage_hashes(graph: ModuleGraph) -> Dict[str, Dict[str, Any]]:
+    """Current per-stage fingerprints: hash, salt, anchors, closure size."""
+    versions = parse_stage_versions(graph) or {}
+    out: Dict[str, Dict[str, Any]] = {}
+    for stage, anchors in sorted(discover_stages(graph).items()):
+        closure = graph.closure(
+            [a.qualname for a in anchors], strict_only=True,
+            exclude_prefixes=HASH_EXCLUDE_PREFIXES)
+        closure = {q for q in closure
+                   if graph.functions[q].module.split(".")[0] == "repro"}
+        digest = hashlib.sha256()
+        for qual in sorted(closure):
+            digest.update(f"{qual}:{function_hash(graph.functions[qual])}\n"
+                          .encode())
+        out[stage] = {
+            "salt": versions.get(stage),
+            "hash": digest.hexdigest(),
+            "anchors": sorted(a.qualname for a in anchors),
+            "functions_hashed": len(closure),
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+# baseline I/O
+# ----------------------------------------------------------------------
+def load_baseline(path: Path) -> Optional[Dict[str, Dict[str, Any]]]:
+    """The committed stage fingerprints, or ``None`` if unreadable."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    stages = document.get("stages")
+    return dict(stages) if isinstance(stages, dict) else None
+
+
+def write_baseline(path: Path,
+                   stages: Dict[str, Dict[str, Any]]) -> Path:
+    """Write ``stages`` as the committed R8 baseline; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {"__doc__": BASELINE_DOC,
+                "stages": {k: stages[k] for k in sorted(stages)}}
+    path.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n",
+                    encoding="utf-8")
+    return path

@@ -436,7 +436,10 @@ class StrideTricksOutsideBackendRule(Rule):
         return None
 
 
-ALL_RULES: Tuple[Rule, ...] = (
+#: The single-file rules (R1-R7). The graph-backed rules (R8-R12) live
+#: in :mod:`tools.lint.ast_rules`; the runner assembles ``ALL_RULES``
+#: from both so neither module has to import the other.
+FILE_RULES: Tuple[Rule, ...] = (
     UnseededRandomRule(),
     MutableDefaultRule(),
     TypedPublicApiRule(),

@@ -1,19 +1,48 @@
-"""File collection, rule execution and the command-line front end."""
+"""File collection, multi-pass rule execution and the CLI front end.
+
+The run is staged so every rule shares one set of parsed facts:
+
+1. collect ``.py`` files and build (cached) :class:`FileContext`
+   objects — one parse per file content (:func:`~tools.lint.callgraph.
+   get_context`);
+2. assemble the project-wide :class:`~tools.lint.callgraph.ModuleGraph`
+   from those contexts;
+3. run the single-file rules (R1-R7, R11, R12) per context, then the
+   graph-backed project rules (R8-R10) once against the graph.
+
+Besides the human-readable text report, ``--json PATH`` writes a
+machine-readable sidecar (counts per rule + every finding) that CI
+uploads as an artifact, and ``--update-baseline`` re-seeds the R8
+stage-hash baseline (``tools/stage_hashes.json``) after a legitimate
+``STAGE_VERSIONS`` bump.
+"""
 
 from __future__ import annotations
 
 import argparse
-import ast
+import json
 import sys
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from tools.lint.ast_rules import AST_RULES, LintOptions, ProjectRule
+from tools.lint.callgraph import ModuleGraph, get_context
 from tools.lint.context import FileContext
+from tools.lint.hashing import stage_hashes, write_baseline
 from tools.lint.report import Violation
-from tools.lint.rules import ALL_RULES, Rule
+from tools.lint.rules import FILE_RULES, Rule
 
+#: Every rule, file-scoped and graph-scoped, in gate order.
+ALL_RULES: Tuple[Rule, ...] = (*FILE_RULES, *AST_RULES)
+
+#: ``fixtures`` is skipped so the deliberately-violating golden fixture
+#: modules under ``tests/tools/fixtures/`` never fail a tree-wide run.
 _SKIP_DIR_NAMES = {"__pycache__", ".git", ".cache", ".mypy_cache",
-                   ".ruff_cache", ".pytest_cache", "build", "dist"}
+                   ".ruff_cache", ".pytest_cache", "build", "dist",
+                   "fixtures"}
+
+#: Committed R8 baseline, resolved relative to this checkout.
+DEFAULT_STAGE_BASELINE = Path(__file__).resolve().parents[1] / "stage_hashes.json"
 
 
 def collect_files(paths: Sequence[str]) -> List[Path]:
@@ -42,36 +71,96 @@ def _select_rules(select: Optional[Sequence[str]]) -> List[Rule]:
     return [r for r in ALL_RULES if r.code in wanted]
 
 
+def _build_contexts(files: Sequence[Path],
+                    ) -> Tuple[List[FileContext], List[Violation]]:
+    """Parse (via the content-hash cache) every file; E999 on failure."""
+    contexts: List[FileContext] = []
+    errors: List[Violation] = []
+    for file_path in files:
+        source = Path(file_path).read_text(encoding="utf-8")
+        try:
+            contexts.append(get_context(str(file_path), source))
+        except SyntaxError as exc:
+            errors.append(Violation(
+                path=str(file_path), line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1, code="E999",
+                message=f"syntax error: {exc.msg}"))
+    return contexts, errors
+
+
+def _run_rules(contexts: Sequence[FileContext], rules: Sequence[Rule],
+               options: LintOptions) -> List[Violation]:
+    """Pass 2+3: file rules per context, project rules once per graph."""
+    graph = ModuleGraph(contexts)
+    violations: List[Violation] = []
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            violations.extend(rule.run_project(graph, options))
+        else:
+            for ctx in contexts:
+                violations.extend(rule.run(ctx))
+    return sorted(violations, key=Violation.sort_key)
+
+
 def check_source(source: str, path: str = "<string>",
                  select: Optional[Sequence[str]] = None) -> List[Violation]:
-    """Lint a source string; the programmatic API the tests drive."""
+    """Lint a source string; the programmatic API the tests drive.
+
+    Single-source runs get a one-module graph and no R8 baseline
+    (there is nothing meaningful to diff a lone string against).
+    """
     try:
-        tree = ast.parse(source)
+        ctx = get_context(path, source)
     except SyntaxError as exc:
         return [Violation(path=path, line=exc.lineno or 1,
                           col=(exc.offset or 0) + 1, code="E999",
                           message=f"syntax error: {exc.msg}")]
-    ctx = FileContext(path, source, tree)
-    violations: List[Violation] = []
-    for rule in _select_rules(select):
-        violations.extend(rule.run(ctx))
-    return sorted(violations, key=Violation.sort_key)
+    return _run_rules([ctx], _select_rules(select),
+                      LintOptions(stage_baseline=None))
 
 
 def check_file(path: Path,
                select: Optional[Sequence[str]] = None) -> List[Violation]:
-    """Lint one file from disk."""
+    """Lint one file from disk (no cross-file analysis)."""
     source = Path(path).read_text(encoding="utf-8")
     return check_source(source, str(path), select=select)
 
 
 def check_paths(paths: Sequence[str],
-                select: Optional[Sequence[str]] = None) -> List[Violation]:
-    """Lint every ``.py`` file reachable from ``paths``."""
-    violations: List[Violation] = []
-    for file_path in collect_files(paths):
-        violations.extend(check_file(file_path, select=select))
-    return violations
+                select: Optional[Sequence[str]] = None,
+                stage_baseline: Optional[Path] = DEFAULT_STAGE_BASELINE,
+                ) -> List[Violation]:
+    """Lint every ``.py`` file reachable from ``paths``, cross-file rules
+    included. ``stage_baseline=None`` disables the R8 comparison."""
+    files = collect_files(paths)
+    contexts, errors = _build_contexts(files)
+    if stage_baseline is not None and not Path(stage_baseline).exists():
+        stage_baseline = None if stage_baseline == DEFAULT_STAGE_BASELINE \
+            else stage_baseline
+    options = LintOptions(stage_baseline=stage_baseline)
+    return sorted(errors + _run_rules(contexts, _select_rules(select),
+                                      options),
+                  key=Violation.sort_key)
+
+
+def _json_report(files: Sequence[Path], rules: Sequence[Rule],
+                 violations: Sequence[Violation]) -> Dict:
+    counts: Dict[str, int] = {}
+    for v in violations:
+        counts[v.code] = counts.get(v.code, 0) + 1
+    return {
+        "tool": "repro-lint",
+        "schema": "repro-lint/2",
+        "files_checked": len(files),
+        "rules": [r.code for r in rules],
+        "counts": dict(sorted(counts.items())),
+        "violations": [
+            {"path": v.path, "line": v.line, "col": v.col,
+             "code": v.code, "message": v.message}
+            for v in violations
+        ],
+        "clean": not violations,
+    }
 
 
 def _print_rule_listing(out) -> None:
@@ -80,12 +169,34 @@ def _print_rule_listing(out) -> None:
         print(f"    {rule.description}", file=out)
 
 
+def _update_baseline(paths: Sequence[str], baseline: Path) -> int:
+    """Re-seed ``tools/stage_hashes.json`` from the current tree."""
+    contexts, errors = _build_contexts(collect_files(paths))
+    for err in errors:
+        print(err.render(), file=sys.stderr)
+    if errors:
+        return 2
+    stages = stage_hashes(ModuleGraph(contexts))
+    if not stages:
+        print("tools.lint: no memoized stages discovered under "
+              f"{' '.join(paths)} — baseline not written", file=sys.stderr)
+        return 2
+    write_baseline(baseline, stages)
+    for stage, entry in sorted(stages.items()):
+        print(f"  {stage}: salt={entry['salt']} "
+              f"hash={entry['hash'][:12]}… "
+              f"({entry['functions_hashed']} functions)")
+    print(f"repro-lint: wrote {len(stages)} stage fingerprint(s) to "
+          f"{baseline}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``python -m tools.lint``."""
     parser = argparse.ArgumentParser(
         prog="tools.lint",
         description="repro-lint: project-specific static analysis "
-                    "(rules R1-R7; see tools/lint/__init__.py)")
+                    "(rules R1-R12; see tools/lint/__init__.py)")
     parser.add_argument("paths", nargs="*", default=["src", "tests",
                                                      "benchmarks"],
                         help="files or directories to lint "
@@ -95,6 +206,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "(default: all)")
     parser.add_argument("--list-rules", action="store_true",
                         help="describe every rule and exit")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write a machine-readable report "
+                             "(consumed by CI as an artifact)")
+    parser.add_argument("--stage-baseline", metavar="PATH",
+                        default=str(DEFAULT_STAGE_BASELINE),
+                        help="R8 stage-hash baseline file "
+                             "(default: tools/stage_hashes.json)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the R8 baseline from the current "
+                             "tree (after a STAGE_VERSIONS bump) and exit")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="suppress the summary line")
     args = parser.parse_args(argv)
@@ -103,19 +224,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _print_rule_listing(sys.stdout)
         return 0
 
+    baseline = Path(args.stage_baseline)
+    if args.update_baseline:
+        paths = args.paths if args.paths != ["src", "tests", "benchmarks"] \
+            else ["src"]
+        return _update_baseline(paths, baseline)
+
     select = args.select.split(",") if args.select else None
     try:
+        rules = _select_rules(select)
         files = collect_files(args.paths)
-        violations: List[Violation] = []
-        for file_path in files:
-            violations.extend(check_file(file_path, select=select))
+        contexts, errors = _build_contexts(files)
+        # A missing *default* baseline silently disables R8 (fresh
+        # checkouts before seeding); an explicitly requested one that
+        # is missing must be reported, so it stays set.
+        explicit = Path(args.stage_baseline) != DEFAULT_STAGE_BASELINE
+        options = LintOptions(
+            stage_baseline=baseline if (explicit or baseline.exists())
+            else None)
+        violations = sorted(errors + _run_rules(contexts, rules, options),
+                            key=Violation.sort_key)
     except (FileNotFoundError, ValueError) as exc:
         print(f"tools.lint: {exc}", file=sys.stderr)
         return 2
 
-    violations.sort(key=Violation.sort_key)
     for violation in violations:
         print(violation.render())
+    if args.json:
+        report = _json_report(files, rules, violations)
+        Path(args.json).write_text(json.dumps(report, indent=2) + "\n",
+                                   encoding="utf-8")
     if not args.quiet:
         status = "clean" if not violations else "found issues"
         print(f"repro-lint: {len(files)} files checked, "
