@@ -7,7 +7,10 @@ emits a machine-readable ``<name>.json`` sidecar (preset, trials,
 elapsed wall-time, the report lines, structured measured numbers when
 the bench provides them, and the obs metrics snapshot when recording is
 on) so result trajectories can be tracked across commits without
-parsing fixed-width text.
+parsing fixed-width text, and appends a one-line trend row (name,
+elapsed wall-time, git SHA, timestamp) to ``results/history.jsonl`` —
+the append-only log ``tools/bench_diff.py --trend`` reads to flag
+multi-commit slow creep.
 
 The ``REPRO_BENCH_PRESET`` environment variable selects the workload
 scale: ``quick`` (default — minutes, the sizes CI runs) or ``full``
@@ -32,6 +35,14 @@ _T0 = time.perf_counter()
 
 #: Sidecar schema version — bump when the JSON layout changes.
 SIDECAR_SCHEMA = "repro.bench.sidecar/v1"
+
+#: History row schema version (``results/history.jsonl``).
+HISTORY_SCHEMA = "repro.bench.history/v1"
+
+#: Append-only wall-time log, one JSON row per bench run. CI caches it
+#: across builds so ``tools/bench_diff.py --trend`` can flag slow creep
+#: that no single-commit comparison crosses the regression threshold on.
+HISTORY_FILE = RESULTS_DIR / "history.jsonl"
 
 
 def preset() -> str:
@@ -125,8 +136,35 @@ def report(name: str, lines, data=None, elapsed_s=None) -> str:
                     if obs_enabled() else None),
     }
     save_json(RESULTS_DIR / f"{name}.json", sidecar)
+    _append_history(sidecar)
     print(f"\n{text}")
     return text
+
+
+def _append_history(sidecar: dict) -> None:
+    """Append one trend row for this run to ``results/history.jsonl``.
+
+    Rows carry only the fields the ``--trend`` gate groups and compares
+    on (plus the git SHA and timestamp that localize a slowdown), so
+    the file stays small enough to cache across hundreds of CI runs.
+    """
+    import json
+
+    from repro.obs.manifest import git_revision
+
+    row = {
+        "schema": HISTORY_SCHEMA,
+        "name": sidecar["name"],
+        "preset": sidecar["preset"],
+        "backend": sidecar["backend"],
+        "jobs": sidecar["jobs"],
+        "trials": sidecar["trials"],
+        "elapsed_s": sidecar["elapsed_s"],
+        "git_sha": git_revision(),
+        "created_unix": sidecar["created_unix"],
+    }
+    with open(HISTORY_FILE, "a") as fh:
+        fh.write(json.dumps(row) + "\n")
 
 
 def fmt_pct(x: float) -> str:

@@ -9,6 +9,9 @@ Usage (after ``pip install -e .``):
         --sigma 0.5 --granularity 16 --trials 5 --jobs 4 --profile
     python -m repro experiment --name fig5a
     python -m repro obs summarize obs/deploy-manifest.json
+    python -m repro obs critical-path obs/
+    python -m repro obs flame obs/ --out deploy.folded
+    python -m repro obs diff baseline-obs/ current-obs/
     python -m repro overhead --granularity 16 128
     python -m repro info
 
@@ -26,9 +29,12 @@ core); results are bit-identical to a serial run at the same seed.
 
 ``--profile`` (on ``train``/``deploy``/``experiment``) enables the
 observability layer for the run and writes a spans JSONL plus a
-structured run manifest under ``--obs-dir`` (default ``obs/``);
-``repro obs summarize <manifest.json>`` renders them as per-stage
-time/metric tables.
+structured run manifest under ``--obs-dir`` (default ``obs/``). The
+``repro obs`` toolkit reads those artifacts back: ``summarize``
+(per-stage time/metric tables, works on manifests, raw span streams and
+obs directories alike), ``critical-path`` (longest chain per root with
+self-time attribution), ``flame`` (folded stacks for flamegraph tools)
+and ``diff`` (percentile-aware two-run comparison).
 """
 
 from __future__ import annotations
@@ -140,9 +146,31 @@ def _add_overhead(sub: argparse._SubParsersAction) -> None:
 
 def _add_obs(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("obs", help="inspect observability artifacts")
-    p.add_argument("action", choices=["summarize"],
-                   help="summarize: render a run manifest as tables")
-    p.add_argument("manifest", help="path to a <run>-manifest.json")
+    obs_sub = p.add_subparsers(dest="obs_action", required=True)
+
+    s = obs_sub.add_parser(
+        "summarize", help="render a run as per-stage time/metric tables")
+    s.add_argument("path",
+                   help="manifest JSON, spans JSONL, or --obs-dir directory")
+
+    c = obs_sub.add_parser(
+        "critical-path",
+        help="longest child chain per root span, with self-time")
+    c.add_argument("path",
+                   help="manifest JSON, spans JSONL, or --obs-dir directory")
+
+    f = obs_sub.add_parser(
+        "flame", help="folded-stack output for flamegraph tools")
+    f.add_argument("path",
+                   help="manifest JSON, spans JSONL, or --obs-dir directory")
+    f.add_argument("--out", default=None, metavar="FILE",
+                   help="write folded stacks to FILE instead of stdout")
+
+    d = obs_sub.add_parser(
+        "diff", help="per-span-name delta table between two runs "
+                     "(percentile-aware)")
+    d.add_argument("path_a", help="baseline manifest JSON or obs directory")
+    d.add_argument("path_b", help="candidate manifest JSON or obs directory")
 
 
 # ----------------------------------------------------------------------
@@ -157,6 +185,11 @@ def _profile_begin(args: argparse.Namespace, command: str) -> bool:
     stream straight to ``<obs-dir>/<command>-spans.jsonl`` as they
     close, so a long ``full``-preset run never buffers its trace in
     memory (and a crash still leaves the trace on disk).
+
+    Opens a ``run.<command>`` root span held until :func:`_profile_end`
+    — every span the run records (including worker subtrees re-rooted
+    on merge) nests under it, so the manifest's spans always form one
+    rooted tree.
     """
     if not getattr(args, "profile", False):
         return False
@@ -167,6 +200,11 @@ def _profile_begin(args: argparse.Namespace, command: str) -> bool:
     obs.reset()
     obs.trace.TRACER.stream_to(
         Path(args.obs_dir) / f"{command}-spans.jsonl")
+    # The run-root span deliberately outlives this frame: _profile_end
+    # closes it before export, and a crash in between still streams
+    # every closed child to disk.
+    args._obs_root = obs.span(f"run.{command}")  # span-ok — closed in _profile_end
+    args._obs_root.__enter__()
     return True
 
 
@@ -175,6 +213,10 @@ def _profile_end(args: argparse.Namespace, command: str,
     """Export manifest + spans for a ``--profile`` run and say where."""
     import repro.obs as obs
 
+    root = getattr(args, "_obs_root", None)
+    if root is not None:
+        root.__exit__(None, None, None)
+        args._obs_root = None
     paths = obs.export_run(
         args.obs_dir, command, argv=sys.argv[1:],
         preset=getattr(args, "preset", None),
@@ -304,12 +346,37 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
-    from repro.obs.summary import summarize_file
+    from repro.obs import analysis
+    from repro.obs.summary import summarize_path
+    from repro.utils.serialization import load_json
 
     try:
-        _echo(summarize_file(args.manifest))
-    except FileNotFoundError:
-        _echo(f"repro obs: no such manifest: {args.manifest}")
+        if args.obs_action == "summarize":
+            _echo(summarize_path(args.path))
+        elif args.obs_action == "critical-path":
+            spans = analysis.load_trace(analysis.resolve_spans_path(args.path))
+            _echo(analysis.render_critical_path(analysis.critical_path(spans)))
+        elif args.obs_action == "flame":
+            spans = analysis.load_trace(analysis.resolve_spans_path(args.path))
+            folded = analysis.render_folded(analysis.fold_stacks(spans))
+            if args.out:
+                out = Path(args.out)
+                out.parent.mkdir(parents=True, exist_ok=True)
+                out.write_text(folded + "\n")
+                _echo(f"folded stacks: {out} "
+                      f"({len(folded.splitlines())} stack(s))")
+            else:
+                _echo(folded)
+        else:                                       # diff
+            manifest_a = analysis.resolve_manifest_path(args.path_a)
+            manifest_b = analysis.resolve_manifest_path(args.path_b)
+            stage_rows, hist_rows = analysis.diff_manifests(
+                load_json(manifest_a), load_json(manifest_b))
+            _echo(analysis.render_diff(stage_rows, hist_rows,
+                                       label_a=str(manifest_a),
+                                       label_b=str(manifest_b)))
+    except FileNotFoundError as exc:
+        _echo(f"repro obs: {exc}")
         return 2
     return 0
 
@@ -322,7 +389,7 @@ def _cmd_info(_args: argparse.Namespace) -> int:
     _echo("workloads: lenet, resnet18 (slim), vgg16 (slim)")
     _echo("methods:   plain, vawo, vawo*, pwt, vawo*+pwt")
     _echo("observability: REPRO_OBS=1 / --profile, REPRO_LOG_LEVEL, "
-          "repro obs summarize")
+          "repro obs summarize|critical-path|flame|diff")
     _echo("parallelism:   --jobs/-j on deploy/experiment "
           "(repro.parallel, bit-identical to serial)")
     from repro.backend import available_backends, default_backend_name

@@ -1,32 +1,47 @@
 """Observability layer: metrics, wall-time spans, and run manifests.
 
-Three pieces, all process-local and dependency-free:
+Four pieces, all process-local and dependency-free:
 
 ``repro.obs.metrics``
     Thread-safe counters / gauges / histograms behind one registry.
+    Histograms carry a deterministic fixed-size reservoir, so
+    snapshots (and cross-process merges of them) report p50/p95/p99.
 ``repro.obs.trace``
     Nested wall-time spans (``perf_counter``); ``span`` works as a
-    context manager *and* a decorator.
+    context manager *and* a decorator. Records carry a ``trace_id``
+    and ``pid``; :class:`TraceContext` ships the submitting span's
+    identity into worker processes so their subtrees re-root under it
+    on adoption — a profiled ``--jobs N`` run is one rooted tree.
 ``repro.obs.exporters`` / ``repro.obs.manifest``
     JSONL span dumps and a single structured run-manifest JSON
     (preset, seed, git revision, environment, per-stage timings,
     metric totals). Long runs stream spans to the JSONL file as they
     close (``trace.TRACER.stream_to``) instead of buffering them.
+``repro.obs.analysis``
+    Offline toolkit over recorded artifacts: span-tree reconstruction,
+    critical-path extraction, folded flamegraph stacks, and
+    percentile-aware two-run diffs (``repro obs
+    critical-path|flame|diff``).
 
 The layer is **zero-cost when disabled** (the default): with
 ``REPRO_OBS`` unset, the ``span`` decorator returns the decorated
 function unchanged and every metric helper is one flag read. Enable it
 with ``REPRO_OBS=1``, the CLI's ``--profile`` flag, or
-:func:`repro.obs.enable` at runtime. ``repro obs summarize
-<manifest.json>`` renders a recorded run as per-stage tables.
+:func:`repro.obs.enable` at runtime. ``repro obs summarize <path>``
+renders a recorded run (manifest, span stream, or obs directory) as
+per-stage tables.
 """
 
-from repro.obs import metrics, trace
+from repro.obs import analysis, metrics, trace
+from repro.obs.analysis import (critical_path, diff_manifests, fold_stacks,
+                                render_critical_path, render_diff,
+                                render_folded)
 from repro.obs.exporters import export_run, write_spans_jsonl
 from repro.obs.manifest import build_manifest, stage_totals
 from repro.obs.runtime import disable, enable, enabled, env_enabled
-from repro.obs.summary import render_summary, summarize_file
-from repro.obs.trace import SpanSink, span
+from repro.obs.summary import render_summary, summarize_file, summarize_path
+from repro.obs.trace import (SpanSink, TraceContext, current_trace_context,
+                             span)
 
 
 def reset() -> None:
@@ -36,7 +51,10 @@ def reset() -> None:
 
 
 __all__ = [
-    "metrics", "trace", "span", "SpanSink", "enabled", "enable", "disable",
+    "metrics", "trace", "analysis", "span", "SpanSink", "TraceContext",
+    "current_trace_context", "enabled", "enable", "disable",
     "env_enabled", "reset", "export_run", "write_spans_jsonl",
     "build_manifest", "stage_totals", "render_summary", "summarize_file",
+    "summarize_path", "critical_path", "render_critical_path",
+    "fold_stacks", "render_folded", "diff_manifests", "render_diff",
 ]

@@ -1,0 +1,384 @@
+"""Offline analysis of recorded span streams (``repro obs ...``).
+
+Three read-only tools over the JSONL traces ``--profile`` runs write:
+
+``critical-path``
+    For every root span, the longest child chain (each step the child
+    with the largest duration), with *self-time* attribution — the part
+    of a span's duration not covered by its children — so the line that
+    actually burns the time is visible even when it sits five levels
+    deep.
+``flame``
+    Folded-stack output (``root;child;leaf <microseconds>`` per line),
+    the interchange format standard flamegraph tools consume
+    (``flamegraph.pl``, speedscope, inferno). Values are integer
+    microseconds of self time, so stacks aggregate correctly.
+``diff``
+    Two obs artifacts (manifests or whole ``--obs-dir`` directories) →
+    a per-span-name delta table of counts and wall-time totals, plus a
+    percentile-aware comparison of every histogram the two runs share
+    (p50/p95/p99 shifts — how the *tail* moved, not just the mean).
+
+All inputs go through :func:`resolve_spans_path` /
+:func:`load_trace`, which accept a spans JSONL file, a run-manifest
+JSON (its ``spans_file`` is followed), or an ``--obs-dir`` directory —
+including the stream a crashed run left behind: a torn final line
+(killed mid-write) is dropped instead of failing the whole read.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.utils.logging import get_logger
+from repro.utils.serialization import PathLike, SerializationError, load_json
+
+logger = get_logger(__name__)
+
+__all__ = ["SpanNode", "SpanTree", "CriticalPathStep", "StageDelta",
+           "PercentileDelta", "load_trace", "resolve_spans_path",
+           "resolve_manifest_path", "build_tree", "critical_path",
+           "render_critical_path", "fold_stacks", "render_folded",
+           "diff_manifests", "render_diff"]
+
+
+# ----------------------------------------------------------------------
+# input resolution
+# ----------------------------------------------------------------------
+def load_trace(path: PathLike) -> List[Dict[str, Any]]:
+    """Read span records from a JSONL trace, crash-tolerantly.
+
+    Unlike the strict :func:`repro.utils.serialization.read_jsonl`, a
+    torn *final* line — what a process killed mid-``write`` leaves —
+    is dropped with a warning; a malformed line anywhere else is still
+    an error (the file is not a span stream).
+    """
+    p = Path(path)
+    lines = p.read_text().splitlines()
+    records: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if lineno == len(lines):
+                logger.warning("%s:%d: dropping torn final line "
+                               "(crashed mid-write?)", p, lineno)
+                break
+            raise SerializationError(
+                f"{p}:{lineno} is not valid JSON ({exc})") from exc
+    return records
+
+
+def _single_match(directory: Path, pattern: str) -> Optional[Path]:
+    matches = sorted(directory.glob(pattern))
+    if len(matches) > 1:
+        raise FileNotFoundError(
+            f"{directory} holds {len(matches)} files matching {pattern!r} "
+            f"({', '.join(m.name for m in matches)}); pass one explicitly")
+    return matches[0] if matches else None
+
+
+def resolve_spans_path(path: PathLike) -> Path:
+    """The spans JSONL behind ``path`` (file, manifest, or obs dir)."""
+    p = Path(path)
+    if p.is_dir():
+        manifest = _single_match(p, "*-manifest.json")
+        if manifest is not None:
+            return resolve_spans_path(manifest)
+        spans = _single_match(p, "*-spans.jsonl")
+        if spans is None:
+            raise FileNotFoundError(
+                f"{p} holds neither a *-manifest.json nor a *-spans.jsonl")
+        return spans
+    if p.name.endswith(".jsonl"):
+        return p
+    document = load_json(p)
+    spans_file = document.get("spans_file") if isinstance(document, dict) \
+        else None
+    if not spans_file:
+        raise FileNotFoundError(f"{p} is a manifest without a spans_file")
+    return p.parent / spans_file
+
+
+def resolve_manifest_path(path: PathLike) -> Path:
+    """The run-manifest JSON behind ``path`` (file or obs dir)."""
+    p = Path(path)
+    if p.is_dir():
+        manifest = _single_match(p, "*-manifest.json")
+        if manifest is None:
+            raise FileNotFoundError(f"{p} holds no *-manifest.json")
+        return manifest
+    return p
+
+
+# ----------------------------------------------------------------------
+# span tree
+# ----------------------------------------------------------------------
+@dataclass
+class SpanNode:
+    """One span record plus its resolved children."""
+
+    record: Dict[str, Any]
+    children: List["SpanNode"] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return str(self.record.get("name", "?"))
+
+    @property
+    def span_id(self) -> Any:
+        return self.record.get("id")
+
+    @property
+    def duration_s(self) -> float:
+        duration = self.record.get("duration_s")
+        return float(duration) if duration is not None else 0.0
+
+    @property
+    def self_s(self) -> float:
+        """Duration not covered by children (clamped at 0: adopted
+        worker subtrees overlap in wall time under a parallel grid)."""
+        return max(0.0, self.duration_s
+                   - sum(c.duration_s for c in self.children))
+
+
+@dataclass
+class SpanTree:
+    """A forest reconstructed from flat span records."""
+
+    roots: List[SpanNode]
+    n_spans: int
+    n_open: int
+
+    def is_single_rooted(self) -> bool:
+        """Whether every span transitively parents under one root."""
+        return len(self.roots) == 1
+
+
+def build_tree(spans: Sequence[Mapping[str, Any]]) -> SpanTree:
+    """Link flat records into a forest by id/parent_id.
+
+    Records whose parent is absent from the batch become roots (the
+    stream of a crashed run can lose an unclosed ancestor). Roots are
+    ordered heaviest-first.
+    """
+    nodes: Dict[Any, SpanNode] = {}
+    ordered: List[SpanNode] = []
+    for record in spans:
+        node = SpanNode(record=dict(record))
+        ordered.append(node)
+        if record.get("id") is not None:
+            nodes[record["id"]] = node
+    roots: List[SpanNode] = []
+    for node in ordered:
+        parent_id = node.record.get("parent_id")
+        parent = nodes.get(parent_id) if parent_id is not None else None
+        if parent is not None and parent is not node:
+            parent.children.append(node)
+        else:
+            roots.append(node)
+    roots.sort(key=lambda n: n.duration_s, reverse=True)
+    n_open = sum(1 for n in ordered if n.record.get("duration_s") is None)
+    return SpanTree(roots=roots, n_spans=len(ordered), n_open=n_open)
+
+
+# ----------------------------------------------------------------------
+# critical path
+# ----------------------------------------------------------------------
+@dataclass
+class CriticalPathStep:
+    """One hop of a root's longest chain."""
+
+    name: str
+    depth: int
+    duration_s: float
+    self_s: float
+    status: str
+
+
+def critical_path(spans: Sequence[Mapping[str, Any]]
+                  ) -> List[List[CriticalPathStep]]:
+    """Longest child chain per root (heaviest child at every step)."""
+    chains: List[List[CriticalPathStep]] = []
+    for root in build_tree(spans).roots:
+        chain: List[CriticalPathStep] = []
+        node: Optional[SpanNode] = root
+        depth = 0
+        while node is not None:
+            chain.append(CriticalPathStep(
+                name=node.name, depth=depth, duration_s=node.duration_s,
+                self_s=node.self_s,
+                status=str(node.record.get("status", "?"))))
+            node = max(node.children, key=lambda c: c.duration_s,
+                       default=None)
+            depth += 1
+        chains.append(chain)
+    return chains
+
+
+def render_critical_path(chains: Sequence[Sequence[CriticalPathStep]],
+                         ) -> str:
+    """Fixed-width rendering of :func:`critical_path` output."""
+    lines: List[str] = []
+    for chain in chains:
+        if not chain:
+            continue
+        root = chain[0]
+        total = root.duration_s
+        lines.append(f"critical path — {root.name} "
+                     f"(total {total:.3f} s, {len(chain)} hop(s))")
+        lines.append(f"  {'span':<38}{'total':>12}{'self':>12}{'share':>8}")
+        for step in chain:
+            share = step.self_s / total if total > 0 else 0.0
+            marker = "" if step.status != "open" else "  [open]"
+            lines.append(
+                f"  {'  ' * step.depth}{step.name:<{max(1, 38 - 2 * step.depth)}}"
+                f"{step.duration_s:>11.4f}s{step.self_s:>11.4f}s"
+                f"{share:>8.1%}{marker}")
+        lines.append("")
+    if not lines:
+        lines.append("(no spans)")
+    return "\n".join(lines).rstrip("\n")
+
+
+# ----------------------------------------------------------------------
+# flame (folded stacks)
+# ----------------------------------------------------------------------
+def fold_stacks(spans: Sequence[Mapping[str, Any]]) -> Dict[str, int]:
+    """Aggregate self time into folded stacks, in integer microseconds.
+
+    Keys are ``;``-joined span-name chains from the root; values sum
+    the self time of every span sharing that chain — exactly the input
+    ``flamegraph.pl`` and compatible tools expect.
+    """
+    folded: Dict[str, int] = {}
+
+    def walk(node: SpanNode, prefix: str) -> None:
+        stack = f"{prefix};{node.name}" if prefix else node.name
+        micros = int(round(node.self_s * 1e6))
+        if micros > 0 or not node.children:
+            folded[stack] = folded.get(stack, 0) + micros
+        for child in node.children:
+            walk(child, stack)
+
+    for root in build_tree(spans).roots:
+        walk(root, "")
+    return folded
+
+
+def render_folded(folded: Mapping[str, int]) -> str:
+    """One ``stack value`` line per entry, sorted for stable diffs."""
+    return "\n".join(f"{stack} {value}"
+                     for stack, value in sorted(folded.items()))
+
+
+# ----------------------------------------------------------------------
+# diff
+# ----------------------------------------------------------------------
+@dataclass
+class StageDelta:
+    """Per-span-name count/total comparison between two runs."""
+
+    name: str
+    count_a: int
+    count_b: int
+    total_a_s: float
+    total_b_s: float
+
+    @property
+    def delta_s(self) -> float:
+        return self.total_b_s - self.total_a_s
+
+    @property
+    def ratio(self) -> float:
+        if self.total_a_s > 0:
+            return self.total_b_s / self.total_a_s
+        return float("inf") if self.total_b_s > 0 else 1.0
+
+
+@dataclass
+class PercentileDelta:
+    """p50/p95/p99 shift of one shared histogram between two runs."""
+
+    name: str
+    a: Dict[str, Optional[float]]
+    b: Dict[str, Optional[float]]
+
+    def shift(self, key: str) -> Optional[float]:
+        va, vb = self.a.get(key), self.b.get(key)
+        if va is None or vb is None:
+            return None
+        return vb - va
+
+
+def _percentile_block(hist: Mapping[str, Any]) -> Dict[str, Optional[float]]:
+    out: Dict[str, Optional[float]] = {}
+    for key in ("p50", "p95", "p99"):
+        value = hist.get(key)
+        out[key] = float(value) if value is not None else None
+    return out
+
+
+def diff_manifests(a: Mapping[str, Any], b: Mapping[str, Any],
+                   ) -> Tuple[List[StageDelta], List[PercentileDelta]]:
+    """Compare two run manifests: stage totals + histogram percentiles."""
+    stages_a = a.get("stages") or {}
+    stages_b = b.get("stages") or {}
+    stage_rows = []
+    for name in sorted(set(stages_a) | set(stages_b)):
+        ea, eb = stages_a.get(name, {}), stages_b.get(name, {})
+        stage_rows.append(StageDelta(
+            name=name,
+            count_a=int(ea.get("count", 0)), count_b=int(eb.get("count", 0)),
+            total_a_s=float(ea.get("total_s", 0.0)),
+            total_b_s=float(eb.get("total_s", 0.0))))
+    stage_rows.sort(key=lambda r: abs(r.delta_s), reverse=True)
+
+    hists_a = (a.get("metrics") or {}).get("histograms") or {}
+    hists_b = (b.get("metrics") or {}).get("histograms") or {}
+    hist_rows = [PercentileDelta(name=name,
+                                 a=_percentile_block(hists_a[name]),
+                                 b=_percentile_block(hists_b[name]))
+                 for name in sorted(set(hists_a) & set(hists_b))]
+    return stage_rows, hist_rows
+
+
+def _fmt_opt(value: Optional[float]) -> str:
+    return f"{value:10.4g}" if value is not None else f"{'-':>10}"
+
+
+def render_diff(stage_rows: Sequence[StageDelta],
+                hist_rows: Sequence[PercentileDelta],
+                label_a: str = "a", label_b: str = "b") -> str:
+    """Fixed-width rendering of :func:`diff_manifests` output."""
+    lines = [f"obs diff — a: {label_a}  b: {label_b}"]
+    if stage_rows:
+        lines.append("")
+        lines.append(f"{'span':<34}{'calls a/b':>12}{'total a':>11}"
+                     f"{'total b':>11}{'delta':>11}{'ratio':>8}")
+        for row in stage_rows:
+            ratio = f"{row.ratio:7.2f}x" if row.ratio != float("inf") \
+                else "    new "
+            lines.append(
+                f"{row.name:<34}{row.count_a:>5}/{row.count_b:<6}"
+                f"{row.total_a_s:>10.3f}s{row.total_b_s:>10.3f}s"
+                f"{row.delta_s:>+10.3f}s{ratio:>8}")
+    if hist_rows:
+        lines.append("")
+        lines.append(f"{'histogram':<34}{'p50 a→b':>22}{'p95 a→b':>22}"
+                     f"{'p99 a→b':>22}")
+        for row in hist_rows:
+            cells = []
+            for key in ("p50", "p95", "p99"):
+                cells.append(f"{_fmt_opt(row.a.get(key))}→"
+                             f"{_fmt_opt(row.b.get(key))}")
+            lines.append(f"{row.name:<34}" + "".join(f"{c:>22}"
+                                                     for c in cells))
+    if len(lines) == 1:
+        lines.append("(nothing to compare)")
+    return "\n".join(lines)

@@ -10,26 +10,61 @@ Histograms keep running aggregates (count/total/min/max/last) plus the
 raw value sequence up to :data:`SERIES_CAP` points, so slowly-evolving
 curves (the PWT per-epoch offset loss, trainer epoch accuracy) survive
 into the run manifest without unbounded memory growth.
+
+For tail statistics (per-trial wall time, request latency) each
+histogram additionally maintains a fixed-size **reservoir sample** of
+at most :data:`RESERVOIR_CAP` values, from which p50/p95/p99 are
+computed. The reservoir sampler is deterministic — its index stream
+comes from a fixed-seed :func:`repro.utils.rng.make_rng` generator, so
+the same observation sequence always yields the same reservoir — and it
+survives :meth:`Histogram.merge`: worker shards merged in trial order
+produce a deterministic merged reservoir whose percentiles match the
+serial run's exactly while total counts stay under the cap, and within
+sampling tolerance beyond it.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List, Mapping, Optional, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.obs import runtime
+from repro.utils.rng import make_rng
 
 Number = Union[int, float]
 
 #: Maximum raw observations a histogram retains (aggregates keep going).
 SERIES_CAP = 4096
 
+#: Fixed reservoir size backing the percentile estimates.
+RESERVOIR_CAP = 512
+
+#: Seed of every histogram's reservoir index stream (determinism, not
+#: statistics: the reservoir must be reproducible run-to-run).
+RESERVOIR_SEED = 0x0B5E7E0
+
+
+def percentile_of(values: Sequence[float], q: float) -> Optional[float]:
+    """The ``q``-th percentile (0-100) of ``values``, linearly
+    interpolated between order statistics; ``None`` on empty input."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
 
 class Histogram:
-    """Running aggregates plus a capped raw series of one metric."""
+    """Running aggregates, a capped raw series, and a percentile
+    reservoir of one metric."""
 
     __slots__ = ("count", "total", "min", "max", "last", "series",
-                 "truncated")
+                 "truncated", "reservoir", "_rng")
 
     def __init__(self) -> None:
         self.count = 0
@@ -39,6 +74,10 @@ class Histogram:
         self.last: Optional[float] = None
         self.series: List[float] = []
         self.truncated = False
+        self.reservoir: List[float] = []
+        # rng-ok — fixed-seed reservoir index stream: deterministic
+        # sampling bookkeeping, never observable in trial numerics.
+        self._rng = make_rng(RESERVOIR_SEED)
 
     def observe(self, value: Number) -> None:
         v = float(value)
@@ -51,10 +90,26 @@ class Histogram:
             self.series.append(v)
         else:
             self.truncated = True
+        if len(self.reservoir) < RESERVOIR_CAP:
+            self.reservoir.append(v)
+        else:
+            # Algorithm R with a deterministic index stream.
+            j = int(self._rng.integers(0, self.count))
+            if j < RESERVOIR_CAP:
+                self.reservoir[j] = v
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else float("nan")
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Reservoir estimate of the ``q``-th percentile (0-100)."""
+        return percentile_of(self.reservoir, q)
+
+    def percentiles(self) -> Dict[str, Optional[float]]:
+        """The p50/p95/p99 trio every snapshot and manifest reports."""
+        return {"p50": self.percentile(50.0), "p95": self.percentile(95.0),
+                "p99": self.percentile(99.0)}
 
     def merge(self, snapshot: Mapping[str, Any]) -> None:
         """Fold another histogram's :meth:`snapshot` into this one.
@@ -62,12 +117,18 @@ class Histogram:
         Aggregates (count/total/min/max) combine exactly; ``last`` takes
         the merged snapshot's value (the merge happens after those
         observations); the raw series is extended up to ``SERIES_CAP``
-        and ``truncated`` records any overflow. Used to merge worker-
-        process registries back into the parent.
+        and ``truncated`` records any overflow. The percentile
+        reservoirs combine deterministically: concatenation while the
+        union fits :data:`RESERVOIR_CAP`, otherwise a count-weighted
+        subsample drawn from the fixed-seed index stream — so merging
+        N worker shards in trial order always yields the same merged
+        percentiles. Used to merge worker-process registries back into
+        the parent.
         """
         count = int(snapshot.get("count", 0))
         if count == 0:
             return
+        count_before = self.count
         self.count += count
         self.total += float(snapshot.get("total", 0.0))
         for other, pick in ((snapshot.get("min"), min),
@@ -87,13 +148,46 @@ class Histogram:
         self.series.extend(float(v) for v in series[:room])
         if snapshot.get("truncated") or len(series) > room:
             self.truncated = True
+        # Older snapshots predate the reservoir field; their raw series
+        # is the best available sample.
+        other_res = [float(v) for v in
+                     snapshot.get("reservoir", snapshot.get("series", ()))]
+        self._merge_reservoir(other_res, count, count_before)
+
+    def _merge_reservoir(self, other: List[float], other_count: int,
+                         count_before: int) -> None:
+        if not other:
+            return
+        if len(self.reservoir) + len(other) <= RESERVOIR_CAP:
+            self.reservoir.extend(other)
+            return
+        # Count-weighted subsample: each side keeps a share of the cap
+        # proportional to the observation mass its reservoir represents.
+        total = max(count_before + other_count, 1)
+        k_self = round(RESERVOIR_CAP * count_before / total)
+        k_self = min(len(self.reservoir), max(
+            k_self, RESERVOIR_CAP - len(other)))
+        k_other = min(len(other), RESERVOIR_CAP - k_self)
+        self.reservoir = (self._subsample(self.reservoir, k_self)
+                          + self._subsample(other, k_other))
+
+    def _subsample(self, values: List[float], k: int) -> List[float]:
+        if k >= len(values):
+            return list(values)
+        if k <= 0:
+            return []
+        picked = self._rng.choice(len(values), size=k, replace=False)
+        return [values[int(i)] for i in sorted(picked)]
 
     def snapshot(self) -> Dict[str, Any]:
-        return {
+        snap = {
             "count": self.count, "total": self.total, "mean": self.mean,
             "min": self.min, "max": self.max, "last": self.last,
             "series": list(self.series), "truncated": self.truncated,
+            "reservoir": list(self.reservoir),
         }
+        snap.update(self.percentiles())
+        return snap
 
 
 class MetricsRegistry:

@@ -1,13 +1,18 @@
 """Human-readable rendering of a run manifest (``repro obs summarize``).
 
 Turns the per-stage wall-time totals and the metric snapshot of a
-manifest JSON into fixed-width tables. Pure string building — no I/O
-except :func:`summarize_file`'s manifest load.
+manifest JSON into fixed-width tables. :func:`summarize_path` accepts
+any obs artifact — a manifest JSON, a raw spans JSONL (including the
+stream a crashed run left mid-write), or a whole ``--obs-dir``
+directory — and renders the same summary for all of them: when no
+manifest exists the span stream is aggregated on the fly, so streamed
+and post-hoc exports read identically.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Mapping
+from pathlib import Path
+from typing import Any, List, Mapping, Optional
 
 from repro.utils.serialization import PathLike, load_json
 
@@ -16,6 +21,18 @@ def _fmt_seconds(value: float) -> str:
     if value >= 1.0:
         return f"{value:9.3f} s "
     return f"{value * 1e3:9.3f} ms"
+
+
+def _fmt_hist(hist: Mapping[str, Any]) -> str:
+    if not hist.get("count"):
+        return "n=0"
+    parts = [f"n={hist.get('count', 0)}", f"mean={hist.get('mean'):.4g}",
+             f"last={hist.get('last'):.4g}"]
+    for key in ("p50", "p95", "p99"):
+        value = hist.get(key)
+        if value is not None:
+            parts.append(f"{key}={value:.4g}")
+    return " ".join(parts)
 
 
 def render_summary(manifest: Mapping[str, Any]) -> str:
@@ -63,14 +80,57 @@ def render_summary(manifest: Mapping[str, Any]) -> str:
         for name in sorted(gauges):
             lines.append(f"{name + ' (gauge)':<40}{gauges[name]:>18g}")
         for name in sorted(histograms):
-            hist = histograms[name]
-            shown = (f"n={hist.get('count', 0)} mean={hist.get('mean'):.4g} "
-                     f"last={hist.get('last'):.4g}"
-                     if hist.get("count") else "n=0")
-            lines.append(f"{name + ' (hist)':<40}{shown:>18}")
+            lines.append(f"{name + ' (hist)':<40}  "
+                         f"{_fmt_hist(histograms[name])}")
     return "\n".join(lines)
 
 
 def summarize_file(path: PathLike) -> str:
     """Load a manifest JSON from ``path`` and render its summary."""
     return render_summary(load_json(path))
+
+
+def manifest_from_spans(path: PathLike) -> Mapping[str, Any]:
+    """Aggregate a raw spans JSONL into an on-the-fly manifest.
+
+    This is the crash path: a run that died mid-stream leaves only the
+    ``Tracer.stream_to`` JSONL behind. The lenient loader drops a torn
+    final line, and still-open spans (no ``duration_s``) count but add
+    no time — so ``summarize`` reports the same tables it would have
+    from a clean export.
+    """
+    from repro.obs.analysis import load_trace
+    from repro.obs.manifest import build_manifest
+
+    return build_manifest(command=f"<spans:{Path(path).name}>",
+                          spans=load_trace(path))
+
+
+def summarize_path(path: PathLike) -> str:
+    """Summarize any obs artifact: manifest, spans JSONL, or obs dir.
+
+    Directories prefer their manifest when one exists and fall back to
+    the streamed span file otherwise (interrupted run); a bare
+    ``.jsonl`` path always takes the span-aggregation route.
+    """
+    from repro.obs.analysis import resolve_manifest_path
+
+    p = Path(path)
+    manifest: Optional[Path] = None
+    if p.is_dir():
+        try:
+            manifest = resolve_manifest_path(p)
+        except FileNotFoundError:
+            spans = sorted(p.glob("*-spans.jsonl"))
+            if not spans:
+                raise
+            if len(spans) > 1:
+                raise FileNotFoundError(
+                    f"{p} holds {len(spans)} span streams and no manifest; "
+                    f"pass one explicitly") from None
+            p = spans[0]
+    elif not p.name.endswith(".jsonl"):
+        manifest = p
+    if manifest is not None:
+        return summarize_file(manifest)
+    return render_summary(manifest_from_spans(p))

@@ -32,14 +32,26 @@ stats (count, per-name totals, top-level wall time) the run manifest
 needs, so nothing is lost by not retaining the records. Streamed files
 are in span *completion* order; sort by ``start_s`` to recover the
 timeline.
+
+Cross-process tracing: every record carries the tracer's ``trace_id``
+and the recording ``pid``. A parent process captures its position with
+:func:`current_trace_context` and ships the (picklable)
+:class:`TraceContext` to a worker, which installs it via
+:meth:`Tracer.bind_context` — the worker's root spans then reference
+the submitting span's id, and :meth:`Tracer.adopt` re-parents them
+under that *local* span on merge, so a ``--profile --jobs N`` manifest
+is one rooted tree instead of N+1 concatenated forests.
 """
 
 from __future__ import annotations
 
 import functools
 import json
+import os
 import threading
 import time
+import uuid
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple, TypeVar
 
@@ -49,6 +61,33 @@ from repro.utils.serialization import PathLike, _json_default
 F = TypeVar("F", bound=Callable[..., Any])
 
 _Token = Tuple[int, float]          # (record index, perf_counter at entry)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace identifier (unique, not reproducible —
+    trace ids name runs, they never feed numerics)."""
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The picklable coordinates of one point in a distributed trace.
+
+    ``trace_id`` names the run; ``parent_span_id`` is the id of the
+    span that submitted the remote work (``None`` when captured outside
+    any span). Ship it to a worker process and hand it to
+    :meth:`Tracer.bind_context` so the worker's spans join the parent's
+    tree on merge.
+    """
+
+    trace_id: str
+    parent_span_id: Optional[int] = None
+
+
+def current_trace_context() -> TraceContext:
+    """The process tracer's trace id + the calling thread's open span."""
+    return TraceContext(trace_id=TRACER.trace_id,
+                        parent_span_id=TRACER.current_span_id())
 
 
 class SpanSink:
@@ -120,8 +159,28 @@ class Tracer:
         self._epoch = time.perf_counter()
         self._next_id = 0
         self._sink: Optional[SpanSink] = None
+        self._trace_id = new_trace_id()
+        self._context_parent_id: Optional[int] = None
 
     # ------------------------------------------------------------------
+    @property
+    def trace_id(self) -> str:
+        """The id naming the trace this tracer's spans belong to."""
+        return self._trace_id
+
+    def bind_context(self, ctx: TraceContext) -> None:
+        """Join a foreign trace (worker side of the propagation).
+
+        Subsequent spans carry ``ctx.trace_id``, and spans opened with
+        an empty stack record ``ctx.parent_span_id`` as their parent —
+        a *remote* reference the submitting process's
+        :meth:`adopt` resolves against its own live spans, re-rooting
+        the worker tree under the span that launched the work.
+        """
+        with self._lock:
+            self._trace_id = ctx.trace_id
+            self._context_parent_id = ctx.parent_span_id
+
     def _stack(self) -> List[int]:
         stack = getattr(self._local, "stack", None)
         if stack is None:
@@ -138,9 +197,15 @@ class Tracer:
             # Stack entries are open spans, which are never flushed to a
             # sink, so the parent slot is always a live record.
             parent = self._records[stack[-1]] if stack else None
+            if parent is not None:
+                parent_id: Optional[int] = parent["id"]
+            else:
+                # Bound trace context: roots reference the remote
+                # submitting span (resolved to a local one on adopt).
+                parent_id = self._context_parent_id
             record = {
                 "id": span_id,
-                "parent_id": parent["id"] if parent is not None else None,
+                "parent_id": parent_id,
                 "name": name,
                 "depth": len(stack),
                 "start_s": t0 - self._epoch,
@@ -148,6 +213,8 @@ class Tracer:
                 "attrs": dict(attrs),
                 "status": "open",
                 "error": None,
+                "trace_id": self._trace_id,
+                "pid": os.getpid(),
             }
             index = len(self._records)
             self._records.append(record)
@@ -196,23 +263,28 @@ class Tracer:
         """Append span records produced by another tracer (subprocess).
 
         Ids are re-issued from this tracer's counter and internal
-        parent links remapped; records whose parent is unknown attach
-        under ``parent_id`` (e.g. the executor's open span). Start times
-        shift by ``start_offset_s`` so a child that started its clock at
-        task launch lands at the right place on the parent timeline.
-        ``extra_attrs`` (e.g. the trial index) merge into every adopted
-        record's attrs. Returns the number of records adopted.
+        parent links remapped. Re-parenting resolves, in order: a parent
+        inside the adopted batch (remapped id); a parent that is a
+        *live local span id* — the trace-context reference a
+        :meth:`bind_context`-bound worker stamps on its roots — kept as
+        is; otherwise the explicit ``parent_id`` fallback (e.g. the
+        executor's open span). Depths are recomputed from the resolved
+        parent so the adopted subtree nests correctly, ``trace_id`` is
+        preserved (foreign records without one get this tracer's), and
+        start times shift by ``start_offset_s`` so a child that started
+        its clock at task launch lands at the right place on the parent
+        timeline. ``extra_attrs`` (e.g. the trial index) merge into
+        every adopted record's attrs. Returns the number of records
+        adopted.
         """
         with self._lock:
-            depth_base = 0
-            if parent_id is not None:
-                for existing in self._records:
-                    if existing is not None and existing["id"] == parent_id:
-                        depth_base = int(existing.get("depth", 0)) + 1
-                        break
-                else:
-                    parent_id = None
+            local_depths: Dict[int, int] = {
+                int(existing["id"]): int(existing.get("depth", 0))
+                for existing in self._records if existing is not None}
+            if parent_id is not None and parent_id not in local_depths:
+                parent_id = None
             id_map: Dict[Any, int] = {}
+            adopted_depths: Dict[int, int] = {}
             for record in records:
                 new_id = self._next_id
                 self._next_id += 1
@@ -220,10 +292,28 @@ class Tracer:
                 adopted = dict(record)
                 adopted["id"] = new_id
                 old_parent = record.get("parent_id")
-                adopted["parent_id"] = id_map.get(old_parent, parent_id)
-                adopted["depth"] = int(record.get("depth", 0)) + depth_base
+                if (old_parent is not None and old_parent in id_map
+                        and old_parent != record.get("id")):
+                    new_parent: Optional[int] = id_map[old_parent]
+                    depth = adopted_depths.get(new_parent, 0) + 1
+                elif old_parent is not None and old_parent in local_depths:
+                    # Remote trace-context reference to a span we own.
+                    new_parent = int(old_parent)
+                    depth = local_depths[new_parent] + 1
+                elif parent_id is not None:
+                    new_parent = parent_id
+                    depth = local_depths[parent_id] + 1 \
+                        + int(record.get("depth", 0))
+                else:
+                    new_parent = None
+                    depth = int(record.get("depth", 0))
+                adopted["parent_id"] = new_parent
+                adopted["depth"] = depth
+                adopted_depths[new_id] = depth
                 adopted["start_s"] = (float(record.get("start_s", 0.0))
                                       + start_offset_s)
+                adopted.setdefault("trace_id", self._trace_id)
+                adopted.setdefault("pid", None)
                 if extra_attrs:
                     adopted["attrs"] = {**record.get("attrs", {}),
                                         **extra_attrs}
@@ -291,12 +381,18 @@ class Tracer:
         return sink
 
     def reset(self) -> None:
-        """Drop all records, close any stream, restart the clock."""
+        """Drop all records, close any stream, restart the clock.
+
+        Also leaves any bound trace context and issues a fresh trace
+        id — a reset tracer starts a new trace.
+        """
         with self._lock:
             sink, self._sink = self._sink, None
             self._records.clear()
             self._next_id = 0
             self._epoch = time.perf_counter()
+            self._trace_id = new_trace_id()
+            self._context_parent_id = None
         if sink is not None:
             sink.close()
         self._local = threading.local()

@@ -231,6 +231,13 @@ class TrialExecutor:
         with span("parallel.trials", backend=backend, jobs=jobs,
                   trials=n_trials):
             obs_metrics.inc("parallel.trials_launched", n_trials)
+            if obs_active:
+                # Capture the trace coordinates *inside* the grid span:
+                # workers bind them so every per-trial span tree
+                # re-roots under this parallel.trials span on merge.
+                context = obs_trace.current_trace_context()
+                for task in tasks:
+                    task.trace = context
             if backend == "serial" or not tasks:
                 outcomes = self._run_serial(tasks)
             elif backend == "thread":
@@ -239,9 +246,17 @@ class TrialExecutor:
                     process_mode=False)
             else:
                 outcomes = self._run_process(tasks, jobs)
+            for outcome in outcomes:
+                # Per-trial wall time feeds the percentile reservoir:
+                # --profile manifests report trial.wall_s p50/p95/p99.
+                obs_metrics.observe("trial.wall_s", outcome.duration_s)
         faults = [o for o in outcomes if not o.ok]
         if faults:
             obs_metrics.inc("parallel.trial_faults", len(faults))
+            for fault in faults:
+                # Keyed by trial index so `repro obs diff` can localize
+                # which trials degrade, not just how many.
+                obs_metrics.observe("parallel.fault", fault.index)
             logger.warning("%d/%d trial(s) faulted (backend=%s)",
                            len(faults), n_trials, backend)
         return TrialRun(outcomes=outcomes, backend=backend, jobs=jobs)
@@ -272,6 +287,7 @@ class TrialExecutor:
                 if payload.ok or attempts > self.retries:
                     break
                 obs_metrics.inc("parallel.trial_retries")
+                obs_metrics.observe("parallel.retry", task.index)
             outcomes.append(TrialOutcome(
                 index=task.index, result=payload.result, error=payload.error,
                 traceback=payload.traceback, attempts=attempts,
@@ -352,6 +368,7 @@ class TrialExecutor:
                 state.attempts += 1
                 state.timed_out_once = state.timed_out_once or timed_out
                 obs_metrics.inc("parallel.trial_retries")
+                obs_metrics.observe("parallel.retry", state.task.index)
                 submit(state)
             else:
                 settle(state, payload, timed_out=timed_out)
@@ -394,6 +411,8 @@ class TrialExecutor:
                         state = pending.pop(future)
                         future.cancel()     # abandon the worker if running
                         obs_metrics.inc("parallel.trial_timeouts")
+                        obs_metrics.observe("parallel.timeout",
+                                            state.task.index)
                         payload = TrialPayload(
                             index=state.task.index, ok=False,
                             error=f"TimeoutError: trial exceeded "

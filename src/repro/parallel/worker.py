@@ -33,6 +33,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.obs.trace import TraceContext
 from repro.parallel.rngshard import rng_for_trial
 from repro.utils.rng import SeedLike
 
@@ -56,6 +57,10 @@ class TrialTask:
     seed: SeedLike
     fn: Optional[TrialFn]
     obs_active: bool = False
+    #: Trace coordinates of the submitting span (``--profile`` runs):
+    #: the worker binds them so its span tree re-roots under the
+    #: parent's ``parallel.trials`` span on merge.
+    trace: Optional[TraceContext] = None
 
 
 @dataclass
@@ -84,6 +89,8 @@ def run_trial_task(task: TrialTask) -> TrialPayload:
         obs_runtime.disable()
     obs_trace.TRACER.reset()
     obs_metrics.REGISTRY.reset()
+    if task.obs_active and task.trace is not None:
+        obs_trace.TRACER.bind_context(task.trace)
 
     t0 = perf_counter()
     ok, result, error, tb = True, None, None, None

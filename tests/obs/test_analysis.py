@@ -1,0 +1,274 @@
+"""The offline trace-analysis toolkit (``repro obs ...``).
+
+All tree/attribution math is validated against one hand-written golden
+trace whose self-times and critical path are known exactly.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import analysis
+from repro.obs.manifest import build_manifest
+from repro.obs.summary import render_summary, summarize_path
+from repro.utils.serialization import SerializationError, save_json
+
+
+def _span(id, parent, name, start, dur, pid=100, status="ok"):
+    return {"id": id, "parent_id": parent, "name": name, "depth": 0,
+            "start_s": start, "duration_s": dur, "attrs": {},
+            "status": status, "error": None, "trace_id": "cafe0123cafe0123",
+            "pid": pid}
+
+
+#: Golden trace: a profiled --jobs 2 deploy in miniature. Two worker
+#: trial subtrees (pids 111/222) overlap in wall time under
+#: parallel.trials, so its self-time clamps to zero.
+GOLDEN = [
+    _span(0, None, "run.deploy", 0.0, 10.0),
+    _span(1, 0, "deploy.eval", 0.5, 8.0),
+    _span(2, 1, "parallel.trials", 1.0, 7.0),
+    _span(3, 2, "trial.work", 1.0, 4.0, pid=111),
+    _span(4, 3, "trial.inner", 1.5, 3.0, pid=111),
+    _span(5, 2, "trial.work", 1.0, 5.0, pid=222),
+    _span(6, 5, "trial.inner", 1.5, 2.5, pid=222),
+    _span(7, 0, "deploy.program", 8.6, 1.5),
+]
+
+
+def write_golden(path):
+    with open(path, "w") as fh:
+        for record in GOLDEN:
+            fh.write(json.dumps(record) + "\n")
+    return path
+
+
+class TestBuildTree:
+    def test_links_children_and_orders_roots_heaviest_first(self):
+        tree = analysis.build_tree(GOLDEN + [_span(99, None, "stray",
+                                                   0.0, 0.2)])
+        assert [r.name for r in tree.roots] == ["run.deploy", "stray"]
+        assert tree.n_spans == 9 and tree.n_open == 0
+        assert not tree.is_single_rooted()
+        root = tree.roots[0]
+        assert [c.name for c in root.children] == ["deploy.eval",
+                                                   "deploy.program"]
+
+    def test_missing_parent_becomes_root(self):
+        tree = analysis.build_tree([_span(5, 12345, "orphan", 0.0, 1.0)])
+        assert len(tree.roots) == 1 and tree.roots[0].name == "orphan"
+
+    def test_self_time_clamps_on_overlapping_children(self):
+        tree = analysis.build_tree(GOLDEN)
+        nodes = {}
+
+        def collect(node):
+            nodes[node.span_id] = node
+            for child in node.children:
+                collect(child)
+
+        collect(tree.roots[0])
+        assert nodes[0].self_s == pytest.approx(0.5)     # 10 - 8 - 1.5
+        assert nodes[1].self_s == pytest.approx(1.0)     # 8 - 7
+        assert nodes[2].self_s == 0.0                    # 7 - 9, clamped
+        assert nodes[5].self_s == pytest.approx(2.5)     # 5 - 2.5
+
+
+class TestCriticalPath:
+    def test_golden_chain_and_self_times(self):
+        chains = analysis.critical_path(GOLDEN)
+        assert len(chains) == 1
+        names = [step.name for step in chains[0]]
+        # Heaviest child at every hop: the 5.0 s worker, not the 4.0 s.
+        assert names == ["run.deploy", "deploy.eval", "parallel.trials",
+                         "trial.work", "trial.inner"]
+        self_times = [step.self_s for step in chains[0]]
+        assert self_times == pytest.approx([0.5, 1.0, 0.0, 2.5, 2.5])
+        assert [step.depth for step in chains[0]] == [0, 1, 2, 3, 4]
+
+    def test_render_mentions_every_hop(self):
+        text = analysis.render_critical_path(
+            analysis.critical_path(GOLDEN))
+        assert "critical path — run.deploy" in text
+        for name in ("deploy.eval", "parallel.trials", "trial.inner"):
+            assert name in text
+
+    def test_open_span_flagged(self):
+        spans = [_span(0, None, "crashed.run", 0.0, None, status="open")]
+        text = analysis.render_critical_path(analysis.critical_path(spans))
+        assert "[open]" in text
+
+    def test_empty_trace(self):
+        assert analysis.critical_path([]) == []
+        assert "(no spans)" in analysis.render_critical_path([])
+
+
+class TestFoldStacks:
+    def test_golden_self_time_attribution_in_micros(self):
+        folded = analysis.fold_stacks(GOLDEN)
+        assert folded == {
+            "run.deploy": 500_000,
+            "run.deploy;deploy.eval": 1_000_000,
+            # Both workers' trial.work/inner share one stack; their
+            # self-times sum: (4-3)+(5-2.5) and 3+2.5 seconds.
+            "run.deploy;deploy.eval;parallel.trials;trial.work": 3_500_000,
+            "run.deploy;deploy.eval;parallel.trials;trial.work;trial.inner":
+                5_500_000,
+            "run.deploy;deploy.program": 1_500_000,
+        }
+
+    def test_zero_self_time_internal_frames_omitted(self):
+        folded = analysis.fold_stacks(GOLDEN)
+        assert "run.deploy;deploy.eval;parallel.trials" not in folded
+
+    def test_leaves_kept_even_at_zero(self):
+        folded = analysis.fold_stacks([_span(0, None, "instant", 0.0, 0.0)])
+        assert folded == {"instant": 0}
+
+    def test_render_is_sorted_flamegraph_format(self):
+        lines = analysis.render_folded(
+            analysis.fold_stacks(GOLDEN)).splitlines()
+        assert lines == sorted(lines)
+        stack, value = lines[0].rsplit(" ", 1)
+        assert ";" not in value and int(value) >= 0
+
+
+class TestDiff:
+    def _manifest(self, scale):
+        spans = [dict(s) for s in GOLDEN]
+        for s in spans:
+            s["duration_s"] *= scale
+        metrics = {"counters": {}, "gauges": {}, "histograms": {
+            "trial.wall_s": {"count": 2, "p50": 4.5 * scale,
+                             "p95": 4.95 * scale, "p99": 4.99 * scale},
+            ("only.a" if scale == 1.0 else "only.b"): {"count": 1,
+                                                       "p50": 1.0},
+        }}
+        return build_manifest(command="deploy", spans=spans,
+                              metrics_snapshot=metrics)
+
+    def test_stage_and_percentile_rows(self):
+        stage_rows, hist_rows = analysis.diff_manifests(
+            self._manifest(1.0), self._manifest(2.0))
+        by_name = {r.name: r for r in stage_rows}
+        trials = by_name["parallel.trials"]
+        assert trials.total_a_s == pytest.approx(7.0)
+        assert trials.total_b_s == pytest.approx(14.0)
+        assert trials.ratio == pytest.approx(2.0)
+        # Rows come worst-absolute-delta first.
+        deltas = [abs(r.delta_s) for r in stage_rows]
+        assert deltas == sorted(deltas, reverse=True)
+        # Only shared histograms diff; the percentile shift is exact.
+        assert [r.name for r in hist_rows] == ["trial.wall_s"]
+        assert hist_rows[0].shift("p99") == pytest.approx(4.99)
+
+    def test_render_contains_tables(self):
+        text = analysis.render_diff(*analysis.diff_manifests(
+            self._manifest(1.0), self._manifest(2.0)),
+            label_a="base", label_b="cand")
+        assert "a: base" in text and "b: cand" in text
+        assert "parallel.trials" in text
+        assert "trial.wall_s" in text and "p99" in text
+
+    def test_empty_diff(self):
+        text = analysis.render_diff([], [])
+        assert "(nothing to compare)" in text
+
+
+class TestLoadTrace:
+    def test_torn_final_line_dropped(self, tmp_path):
+        path = write_golden(tmp_path / "spans.jsonl")
+        with open(path, "a") as fh:
+            fh.write('{"id": 99, "name": "torn')     # killed mid-write
+        records = analysis.load_trace(path)
+        assert len(records) == len(GOLDEN)
+
+    def test_torn_middle_line_is_an_error(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        path.write_text('{"id": 0, "name": "a"}\n{broken\n'
+                        '{"id": 1, "name": "b"}\n')
+        with pytest.raises(SerializationError):
+            analysis.load_trace(path)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        path.write_text('{"id": 0, "name": "a"}\n\n')
+        assert len(analysis.load_trace(path)) == 1
+
+
+class TestPathResolution:
+    def _obs_dir(self, tmp_path, with_manifest=True):
+        spans = write_golden(tmp_path / "deploy-spans.jsonl")
+        if with_manifest:
+            manifest = build_manifest(command="deploy", spans=GOLDEN,
+                                      spans_file=spans.name)
+            save_json(tmp_path / "deploy-manifest.json", manifest)
+        return tmp_path
+
+    def test_directory_prefers_manifest(self, tmp_path):
+        d = self._obs_dir(tmp_path)
+        assert analysis.resolve_spans_path(d).name == "deploy-spans.jsonl"
+        assert analysis.resolve_manifest_path(d).name == \
+            "deploy-manifest.json"
+
+    def test_directory_falls_back_to_span_stream(self, tmp_path):
+        d = self._obs_dir(tmp_path, with_manifest=False)
+        assert analysis.resolve_spans_path(d).name == "deploy-spans.jsonl"
+
+    def test_manifest_file_follows_spans_file(self, tmp_path):
+        d = self._obs_dir(tmp_path)
+        resolved = analysis.resolve_spans_path(d / "deploy-manifest.json")
+        assert resolved == d / "deploy-spans.jsonl"
+
+    def test_ambiguous_directory_rejected(self, tmp_path):
+        d = self._obs_dir(tmp_path)
+        save_json(d / "train-manifest.json",
+                  build_manifest(command="train", spans=[]))
+        with pytest.raises(FileNotFoundError):
+            analysis.resolve_spans_path(d)
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            analysis.resolve_spans_path(tmp_path)
+
+
+class TestSummarizeStreamedDir:
+    """Satellite: summarize reads a streamed-sink dir (crashed run, no
+    manifest) identically to a post-hoc export."""
+
+    def test_spans_only_dir_matches_manifest_tables(self, tmp_path):
+        crash_dir = tmp_path / "crash"
+        crash_dir.mkdir()
+        write_golden(crash_dir / "deploy-spans.jsonl")
+        # The crash case: the stream ends in a torn line.
+        with open(crash_dir / "deploy-spans.jsonl", "a") as fh:
+            fh.write('{"id": 99, "na')
+        streamed = summarize_path(crash_dir)
+        exported = render_summary(build_manifest(command="deploy",
+                                                 spans=GOLDEN))
+
+        def stage_lines(text):
+            return [line for line in text.splitlines()
+                    if line.startswith(("run.deploy", "deploy.",
+                                        "parallel.", "trial."))]
+
+        assert stage_lines(streamed) == stage_lines(exported)
+        assert stage_lines(streamed)          # non-empty comparison
+
+    def test_open_spans_counted_without_time(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        records = GOLDEN[:2] + [_span(9, 0, "deploy.program", 9.0, None,
+                                      status="open")]
+        with open(path, "w") as fh:
+            for r in records:
+                fh.write(json.dumps(r) + "\n")
+        text = summarize_path(path)
+        assert "deploy.program" in text
+
+    def test_manifest_dir_unchanged_behaviour(self, tmp_path):
+        write_golden(tmp_path / "deploy-spans.jsonl")
+        save_json(tmp_path / "deploy-manifest.json",
+                  build_manifest(command="deploy", spans=GOLDEN,
+                                 spans_file="deploy-spans.jsonl"))
+        text = summarize_path(tmp_path)
+        assert "run manifest — deploy" in text

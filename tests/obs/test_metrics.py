@@ -1,9 +1,13 @@
 """Metrics registry: counters, gauges, histograms, and the off switch."""
 
+import math
 import threading
 
+import pytest
+
 from repro.obs import metrics
-from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.metrics import (RESERVOIR_CAP, Histogram, MetricsRegistry,
+                               percentile_of)
 from repro.obs.runtime import env_enabled
 
 
@@ -73,6 +77,108 @@ class TestRegistry:
         for t in threads:
             t.join()
         assert reg.counter_value("n") == 4000
+
+
+class TestPercentiles:
+    def test_percentile_of_edges(self):
+        assert percentile_of([], 50) is None
+        assert percentile_of([7.0], 99) == 7.0
+        assert percentile_of([1.0, 3.0], 50) == 2.0
+
+    def test_empty_histogram_reports_none(self):
+        hist = Histogram()
+        assert hist.percentile(50) is None
+        assert hist.percentiles() == {"p50": None, "p95": None, "p99": None}
+
+    def test_exact_under_cap(self):
+        hist = Histogram()
+        for v in range(1, 101):
+            hist.observe(float(v))
+        assert hist.percentile(50) == pytest.approx(50.5)
+        assert hist.percentile(95) == pytest.approx(95.05)
+        assert hist.percentile(99) == pytest.approx(99.01)
+
+    def test_snapshot_carries_percentiles_and_reservoir(self):
+        hist = Histogram()
+        for v in (1.0, 2.0, 3.0):
+            hist.observe(v)
+        snap = hist.snapshot()
+        assert snap["p50"] == 2.0
+        assert snap["reservoir"] == [1.0, 2.0, 3.0]
+
+    def test_reservoir_capped_and_deterministic(self):
+        def build():
+            hist = Histogram()
+            for v in range(2000):
+                hist.observe(float(v))
+            return hist
+
+        a, b = build(), build()
+        assert len(a.reservoir) == RESERVOIR_CAP
+        # Fixed-seed index stream: byte-identical run to run.
+        assert a.reservoir == b.reservoir
+        # And still a faithful sample of the distribution.
+        assert a.percentile(50) == pytest.approx(999.5, rel=0.10)
+        assert a.percentile(99) == pytest.approx(1979.0, rel=0.05)
+
+
+class TestShardMergePercentiles:
+    """The acceptance criterion: merged p99 from 2/4/8 shards is
+    deterministic and matches the serial run."""
+
+    @staticmethod
+    def _values(n):
+        return [10.0 + 5.0 * math.sin(0.7 * i) + 0.01 * i
+                for i in range(n)]
+
+    @classmethod
+    def _merged(cls, values, n_shards):
+        shards = [Histogram() for _ in range(n_shards)]
+        for i, v in enumerate(values):          # round-robin, trial order
+            shards[i % n_shards].observe(v)
+        parent = Histogram()
+        for shard in shards:
+            parent.merge(shard.snapshot())
+        return parent
+
+    def test_merged_equals_serial_under_cap(self):
+        values = self._values(400)              # union fits RESERVOIR_CAP
+        serial = Histogram()
+        for v in values:
+            serial.observe(v)
+        for n_shards in (2, 4, 8):
+            merged = self._merged(values, n_shards)
+            assert sorted(merged.reservoir) == sorted(serial.reservoir)
+            for q in (50.0, 95.0, 99.0):
+                assert merged.percentile(q) == serial.percentile(q)
+
+    def test_merged_deterministic_and_close_beyond_cap(self):
+        values = self._values(3000)
+        serial = Histogram()
+        for v in values:
+            serial.observe(v)
+        for n_shards in (2, 4, 8):
+            once = self._merged(values, n_shards)
+            again = self._merged(values, n_shards)
+            assert once.reservoir == again.reservoir
+            assert len(once.reservoir) <= RESERVOIR_CAP
+            assert once.count == serial.count == 3000
+            for q in (50.0, 95.0, 99.0):
+                assert once.percentile(q) == pytest.approx(
+                    serial.percentile(q), rel=0.10)
+
+    def test_merge_accepts_pre_reservoir_snapshots(self):
+        # Snapshots written before the reservoir existed fall back to
+        # their raw series.
+        child = Histogram()
+        for v in (1.0, 2.0, 3.0):
+            child.observe(v)
+        legacy = {k: v for k, v in child.snapshot().items()
+                  if k != "reservoir"}
+        parent = Histogram()
+        parent.merge(legacy)
+        assert parent.reservoir == [1.0, 2.0, 3.0]
+        assert parent.percentile(50) == 2.0
 
 
 class TestModuleHelpers:

@@ -1,9 +1,12 @@
 """Span tracer: nesting, exception safety, and the zero-cost contract."""
 
+import os
+
 import pytest
 
 from repro.obs import trace
-from repro.obs.trace import TRACER, current_depth, span
+from repro.obs.trace import (TRACER, TraceContext, Tracer, current_depth,
+                             current_trace_context, span)
 
 
 class TestContextManager:
@@ -98,6 +101,116 @@ class TestDecorator:
         with pytest.raises(RuntimeError):
             h()
         assert TRACER.records()[0]["status"] == "error"
+
+
+class TestTraceContext:
+    def test_records_carry_trace_id_and_pid(self, obs_on):
+        with span("tagged"):
+            pass
+        record = TRACER.records()[0]
+        assert record["trace_id"] == TRACER.trace_id
+        assert len(record["trace_id"]) == 16
+        assert record["pid"] == os.getpid()
+
+    def test_current_context_inside_and_outside_spans(self, obs_on):
+        outside = current_trace_context()
+        assert outside.trace_id == TRACER.trace_id
+        assert outside.parent_span_id is None
+        with span("submitting"):
+            inside = current_trace_context()
+            assert inside.parent_span_id == TRACER.current_span_id()
+        assert inside.trace_id == outside.trace_id
+
+    def test_bind_context_adopts_trace_and_roots_reference_parent(self):
+        ctx = TraceContext(trace_id="abcd1234abcd1234", parent_span_id=7)
+        worker = Tracer()
+        worker.bind_context(ctx)
+        outer = worker.push("trial.work", {})
+        inner = worker.push("trial.inner", {})
+        worker.pop(inner)
+        worker.pop(outer)
+        records = worker.records()
+        assert all(r["trace_id"] == "abcd1234abcd1234" for r in records)
+        # The root references the *remote* submitting span; the child
+        # still nests locally.
+        assert records[0]["parent_id"] == 7
+        assert records[1]["parent_id"] == records[0]["id"]
+
+    def test_reset_issues_fresh_trace_and_clears_context(self):
+        tracer = Tracer()
+        tracer.bind_context(TraceContext(trace_id="ffff0000ffff0000",
+                                         parent_span_id=3))
+        before = tracer.trace_id
+        tracer.reset()
+        assert tracer.trace_id != before
+        token = tracer.push("root", {})
+        tracer.pop(token)
+        assert tracer.records()[0]["parent_id"] is None
+
+
+class TestAdoptReParenting:
+    """Explicit re-parenting: a bound worker's roots resolve against
+    the submitting process's live spans on adopt."""
+
+    def _worker_records(self, ctx):
+        worker = Tracer()
+        worker.bind_context(ctx)
+        outer = worker.push("trial.work", {})
+        inner = worker.push("trial.inner", {})
+        worker.pop(inner)
+        worker.pop(outer)
+        return worker.records()
+
+    def test_worker_tree_re_roots_under_live_submitting_span(self, obs_on):
+        with span("run.deploy"):
+            with span("parallel.trials"):
+                ctx = current_trace_context()
+                TRACER.adopt(self._worker_records(ctx))
+        records = {r["name"]: r for r in TRACER.records()}
+        trials = records["parallel.trials"]
+        work, inner = records["trial.work"], records["trial.inner"]
+        assert work["parent_id"] == trials["id"] == ctx.parent_span_id
+        assert inner["parent_id"] == work["id"]
+        # Depths recomputed from the resolved parent (trials is depth 1).
+        assert work["depth"] == 2 and inner["depth"] == 3
+        assert work["trace_id"] == TRACER.trace_id
+
+    def test_single_rooted_tree_after_adopt(self, obs_on):
+        with span("run.deploy"):
+            with span("parallel.trials"):
+                ctx = current_trace_context()
+                for _ in range(3):
+                    TRACER.adopt(self._worker_records(ctx))
+        records = TRACER.records()
+        ids = {r["id"] for r in records}
+        roots = [r for r in records if r["parent_id"] not in ids]
+        assert len(roots) == 1 and roots[0]["name"] == "run.deploy"
+        assert len({r["id"] for r in records}) == len(records)
+
+    def test_unknown_remote_parent_detaches(self, obs_on):
+        ctx = TraceContext(trace_id=TRACER.trace_id, parent_span_id=998877)
+        TRACER.adopt(self._worker_records(ctx))
+        root = TRACER.records()[0]
+        assert root["parent_id"] is None and root["depth"] == 0
+
+    def test_explicit_parent_id_still_wins_for_unbound_workers(self, obs_on):
+        worker = Tracer()
+        worker.pop(worker.push("trial.work", {}))
+        with span("parallel.trials"):
+            anchor = TRACER.current_span_id()
+            TRACER.adopt(worker.records(), parent_id=anchor)
+        work = next(r for r in TRACER.records()
+                    if r["name"] == "trial.work")
+        assert work["parent_id"] == anchor and work["depth"] == 1
+
+    def test_foreign_records_without_trace_id_get_local_one(self, obs_on):
+        legacy = [{"id": 0, "parent_id": None, "name": "old.span",
+                   "depth": 0, "start_s": 0.0, "duration_s": 0.1,
+                   "attrs": {}, "status": "ok", "error": None}]
+        TRACER.adopt(legacy)
+        adopted = TRACER.records()[0]
+        assert adopted["trace_id"] == TRACER.trace_id
+        assert adopted["pid"] is None
 
 
 class TestPopUnwind:

@@ -143,6 +143,55 @@ def _instrumented(trial, rng):
         return float(rng.normal())
 
 
+def _boom_on_1(trial, rng):
+    if trial == 1:
+        raise ValueError("bad trial")
+    return trial
+
+
+class TestTrialTelemetry:
+    """Per-trial wall time + retry/fault observations (histograms)."""
+
+    def test_wall_time_percentiles_parallel(self, obs_on):
+        run_trials(_instrumented, 3, seed=0, jobs=2)
+        hist = obs_metrics.REGISTRY.snapshot()["histograms"]["trial.wall_s"]
+        assert hist["count"] == 3
+        assert hist["min"] >= 0.0
+        for key in ("p50", "p95", "p99"):
+            assert hist[key] is not None
+
+    def test_wall_time_recorded_serially_too(self, obs_on):
+        run_trials(_instrumented, 2, seed=0, jobs=1)
+        hist = obs_metrics.REGISTRY.snapshot()["histograms"]["trial.wall_s"]
+        assert hist["count"] == 2
+
+    def test_retry_and_fault_keyed_by_trial_index(self, obs_on):
+        run = run_trials(_boom_on_1, 3, seed=0, jobs=1)
+        assert [f.index for f in run.faults] == [1]
+        hists = obs_metrics.REGISTRY.snapshot()["histograms"]
+        # One retry and one fault, both recording the failing index —
+        # what `repro obs diff` localizes degrading trials with.
+        assert hists["parallel.retry"]["series"] == [1.0]
+        assert hists["parallel.fault"]["series"] == [1.0]
+        assert "parallel.timeout" not in hists
+
+    def test_single_rooted_tree_under_parallel_run(self, obs_on):
+        import os
+
+        with span("run.test"):
+            run = run_trials(_instrumented, 3, seed=0, jobs=2)
+        assert run.backend == "process"
+        records = obs_trace.TRACER.records()
+        ids = {r["id"] for r in records}
+        roots = [r for r in records if r["parent_id"] not in ids]
+        assert len(roots) == 1 and roots[0]["name"] == "run.test"
+        work = [r for r in records if r["name"] == "trial.work"]
+        assert len(work) == 3
+        assert all(r["trace_id"] == obs_trace.TRACER.trace_id
+                   for r in work)
+        assert all(r["pid"] != os.getpid() for r in work)
+
+
 class TestEndToEndProcessMerge:
     def test_profiled_parallel_grid_reports_all_trials(self, obs_on):
         run = run_trials(_instrumented, 3, seed=0, jobs=2)

@@ -92,4 +92,75 @@ class TestProfile:
     def test_summarize_missing_manifest_exits_2(self, tmp_path, capsys):
         missing = tmp_path / "nope-manifest.json"
         assert main(["obs", "summarize", str(missing)]) == 2
-        assert "no such manifest" in capsys.readouterr().out
+        assert "repro obs:" in capsys.readouterr().out
+
+
+class TestObsToolkit:
+    """Profiled --jobs 2 deploy: one rooted trace, percentile metrics,
+    and the critical-path/flame/diff subcommands over the artifact."""
+
+    @pytest.fixture(scope="class")
+    def obs_dir(self, tmp_path_factory):
+        obs_dir = tmp_path_factory.mktemp("obs-par")
+        code = main(["deploy", "--workload", "lenet", "--method", "vawo*",
+                     "--sigma", "0.5", "--trials", "2", "--jobs", "2",
+                     "--seed", "0", "--profile", "--obs-dir", str(obs_dir)])
+        assert code == 0
+        return obs_dir
+
+    def test_spans_form_single_rooted_tree(self, obs_dir):
+        import json
+
+        spans = [json.loads(line)
+                 for line in open(obs_dir / "deploy-spans.jsonl")]
+        ids = {s["id"] for s in spans}
+        roots = [s for s in spans if s.get("parent_id") not in ids]
+        assert len(roots) == 1 and roots[0]["name"] == "run.deploy"
+        assert len(ids) == len(spans)
+        # Worker subtrees joined the parent's trace.
+        trace_ids = {s["trace_id"] for s in spans}
+        assert len(trace_ids) == 1
+        assert len({s["pid"] for s in spans}) >= 2
+
+    def test_manifest_has_trial_wall_percentiles(self, obs_dir):
+        from repro.utils.serialization import load_json
+
+        doc = load_json(obs_dir / "deploy-manifest.json")
+        wall = doc["metrics"]["histograms"]["trial.wall_s"]
+        assert wall["count"] == 2
+        for key in ("p50", "p95", "p99"):
+            assert wall[key] is not None and wall[key] > 0
+
+    def test_critical_path_subcommand(self, obs_dir, capsys):
+        assert main(["obs", "critical-path", str(obs_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path — run.deploy" in out
+        assert "hop(s)" in out and "self" in out
+
+    def test_flame_subcommand_writes_folded_stacks(self, obs_dir,
+                                                   tmp_path, capsys):
+        folded = tmp_path / "deploy.folded"
+        assert main(["obs", "flame", str(obs_dir),
+                     "--out", str(folded)]) == 0
+        assert "folded stacks" in capsys.readouterr().out
+        lines = folded.read_text().splitlines()
+        assert lines
+        for line in lines:
+            stack, value = line.rsplit(" ", 1)
+            assert stack.startswith("run.deploy")
+            assert int(value) >= 0
+
+    def test_flame_subcommand_stdout(self, obs_dir, capsys):
+        assert main(["obs", "flame", str(obs_dir)]) == 0
+        assert "run.deploy" in capsys.readouterr().out
+
+    def test_diff_subcommand_self_comparison(self, obs_dir, capsys):
+        assert main(["obs", "diff", str(obs_dir), str(obs_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "trial.wall_s" in out
+        assert "p99" in out
+
+    def test_summarize_shows_percentiles(self, obs_dir, capsys):
+        assert main(["obs", "summarize", str(obs_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "trial.wall_s (hist)" in out and "p95=" in out

@@ -1,0 +1,42 @@
+"""R11 golden fixture: span-hygienic trace-traversal helpers.
+
+Mirrors the shapes ``repro.obs.analysis`` uses — recursive child walks,
+a heaviest-child chain loop, and a generator that must keep a span open
+across yields (the one vetted ``# span-ok`` case).
+"""
+
+from repro.obs.trace import span
+
+
+def walk_children(node, children, visit):
+    with span("analysis.walk", name=node["name"]):
+        visit(node)
+        for child in children.get(node["id"], ()):
+            walk_children(child, children, visit)
+
+
+@span("analysis.critical_path")
+def critical_path(roots, children):
+    chains = []
+    for root in roots:
+        chain, node = [], root
+        while node is not None:
+            chain.append(node["name"])
+            kids = children.get(node["id"], [])
+            node = max(kids, key=lambda c: c.get("duration_s") or 0.0,
+                       default=None)
+        chains.append(chain)
+    return chains
+
+
+def timed_fold(roots):
+    # The span deliberately outlives this frame: the generator keeps it
+    # open across yields; the finally closes it even when the consumer
+    # stops iterating early.
+    guard = span("analysis.fold")  # span-ok — closed in finally below
+    guard.__enter__()
+    try:
+        for root in roots:
+            yield root["name"]
+    finally:
+        guard.__exit__(None, None, None)

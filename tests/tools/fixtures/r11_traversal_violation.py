@@ -1,0 +1,25 @@
+"""R11 golden fixture: trace-traversal helpers that leak spans.
+
+Same traversal shapes as the clean twin, but the recursive walk holds
+its span in a variable (a raising ``visit`` skips the close and every
+later span nests under a ghost parent) and the chain builder drives the
+tracer stack by hand.
+"""
+
+from repro.obs.trace import TRACER, span
+
+
+def walk_children(node, children, visit):
+    guard = span("analysis.walk")
+    guard.__enter__()
+    visit(node)
+    for child in children.get(node["id"], ()):
+        walk_children(child, children, visit)
+    guard.__exit__(None, None, None)
+
+
+def critical_path(roots):
+    token = TRACER.push("analysis.critical_path", {})
+    chains = [[root["name"]] for root in roots]
+    TRACER.pop(token)
+    return chains

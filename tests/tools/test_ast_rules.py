@@ -156,6 +156,25 @@ class TestR11SpanHygiene:
                      "benchmarks/bench_x.py"):
             assert check_source(source, path, select=["R11"]) == []
 
+    def test_traversal_helpers_violating(self):
+        """Critical-path-style traversal shapes: a held span in a
+        recursive walk and a hand-driven TRACER stack both flag."""
+        source = (FIXTURES / "r11_traversal_violation.py").read_text(
+            encoding="utf-8")
+        out = check_source(source, "src/repro/obs/analysis.py",
+                           select=["R11"])
+        assert codes(out) == ["R11", "R11", "R11"]
+        assert "with" in out[0].message
+        assert "TRACER.push" in out[1].message
+
+    def test_traversal_helpers_clean(self):
+        """with-form, decorator-form, and a justified # span-ok hold
+        across generator yields all pass at the analysis module path."""
+        source = (FIXTURES / "r11_traversal_clean.py").read_text(
+            encoding="utf-8")
+        assert check_source(source, "src/repro/obs/analysis.py",
+                            select=["R11"]) == []
+
 
 class TestR12ExceptionHygiene:
     def test_violating_fixture(self):

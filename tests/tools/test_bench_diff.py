@@ -4,8 +4,9 @@ import json
 
 import pytest
 
-from tools.bench_diff import (SIDECAR_SCHEMA, compare, load_sidecars, main,
-                              run_diff)
+from tools.bench_diff import (HISTORY_SCHEMA, SIDECAR_SCHEMA, compare,
+                              load_history, load_sidecars, main, run_diff,
+                              run_trend, trend_verdicts)
 
 
 def write_sidecar(directory, name, elapsed_s, schema=SIDECAR_SCHEMA,
@@ -140,6 +141,86 @@ class TestGate:
         assert gate(tmp_path, max_slowdown=3.0) == 0
 
 
+def history_rows(elapsed, name="fig5a", preset="quick",
+                 backend="vectorized"):
+    return [{"schema": HISTORY_SCHEMA, "name": name, "preset": preset,
+             "backend": backend, "elapsed_s": e, "git_sha": f"sha{i}",
+             "created_unix": 1000.0 + i}
+            for i, e in enumerate(elapsed)]
+
+
+def write_history(tmp_path, rows):
+    path = tmp_path / "history.jsonl"
+    with open(path, "a") as fh:
+        for row in rows:
+            fh.write(json.dumps(row) + "\n")
+    return path
+
+
+def trend(tmp_path, rows, **kwargs):
+    args = dict(window=4, step_ratio=1.02, max_slowdown=1.5,
+                min_baseline_s=2.0)
+    args.update(kwargs)
+    return run_trend(write_history(tmp_path, rows), **args)
+
+
+class TestTrendGate:
+    def test_monotonic_creep_fails(self, tmp_path, capsys):
+        # Each step is ~1.16x — far under the 1.5x pairwise limit — but
+        # the cumulative drift is 1.57x: exactly the blind spot.
+        assert trend(tmp_path, history_rows([10.0, 11.6, 13.5, 15.7])) == 1
+        out = capsys.readouterr().out
+        assert "TRENDING UP" in out and "sha0" in out
+
+    def test_single_step_regression_does_not_trend(self, tmp_path):
+        # One bad commit is the pairwise gate's job, not a trend.
+        assert trend(tmp_path, history_rows([10.0, 10.0, 10.0, 17.0])) == 0
+
+    def test_dip_breaks_the_trend(self, tmp_path):
+        assert trend(tmp_path, history_rows([10.0, 11.6, 9.0, 15.7])) == 0
+
+    def test_cumulative_under_limit_passes(self, tmp_path):
+        assert trend(tmp_path, history_rows([10.0, 10.4, 10.9, 11.4])) == 0
+
+    def test_short_series_passes(self, tmp_path):
+        assert trend(tmp_path, history_rows([10.0, 16.0])) == 0
+
+    def test_sub_floor_series_never_flags(self, tmp_path):
+        assert trend(tmp_path, history_rows([0.10, 0.15, 0.22, 0.40])) == 0
+
+    def test_only_trailing_window_considered(self, tmp_path):
+        # Ancient creep followed by a stable plateau must not flag.
+        rows = history_rows([5.0, 7.0, 10.0, 15.0, 15.0, 15.0, 15.0])
+        assert trend(tmp_path, rows) == 0
+
+    def test_series_split_by_preset_and_backend(self, tmp_path):
+        # A preset or backend switch mid-history starts a new series —
+        # the scale jump must not read as a slowdown.
+        rows = (history_rows([10.0, 10.0]) +
+                history_rows([40.0, 41.0], preset="full") +
+                history_rows([90.0, 91.0], backend="reference"))
+        verdicts = trend_verdicts(rows, window=4, step_ratio=1.02,
+                                  max_slowdown=1.5, min_baseline_s=2.0)
+        assert len(verdicts) == 3
+        assert not any(v.flagged for v in verdicts)
+
+    def test_missing_history_passes(self, tmp_path):
+        assert run_trend(tmp_path / "absent.jsonl", window=4,
+                         step_ratio=1.02, max_slowdown=1.5,
+                         min_baseline_s=2.0) == 0
+
+    def test_malformed_and_foreign_lines_skipped(self, tmp_path):
+        path = write_history(tmp_path, history_rows([10.0, 11.0]))
+        with open(path, "a") as fh:
+            fh.write("{torn\n")
+            fh.write(json.dumps({"schema": "other/v1", "name": "x"}) + "\n")
+            fh.write(json.dumps({"schema": HISTORY_SCHEMA,
+                                 "name": "bad"}) + "\n")
+        rows = load_history(path)
+        assert len(rows) == 2
+        assert all(r["name"] == "fig5a" for r in rows)
+
+
 class TestMain:
     def run_main(self, tmp_path, *extra):
         return main(["--baseline", str(tmp_path / "base"),
@@ -161,3 +242,63 @@ class TestMain:
     def test_required_args(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_baseline_without_current_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--baseline", str(tmp_path)])
+
+    def test_trend_alone(self, tmp_path):
+        path = write_history(tmp_path, history_rows([10.0, 11.6, 13.5,
+                                                     15.7]))
+        assert main(["--trend", str(path)]) == 1
+        assert main(["--trend", str(path), "--trend-window", "3",
+                     "--max-slowdown", "2.0"]) == 0
+
+    def test_trend_window_floor(self, tmp_path):
+        path = write_history(tmp_path, history_rows([10.0]))
+        assert main(["--trend", str(path), "--trend-window", "2"]) == 2
+
+    def test_pairwise_and_trend_compose(self, tmp_path):
+        # Pairwise passes (1.16x step) but the trend catches the creep.
+        write_sidecar(tmp_path / "base", "fig5a", 13.5)
+        write_sidecar(tmp_path / "cur", "fig5a", 15.7)
+        path = write_history(tmp_path, history_rows([10.0, 11.6, 13.5,
+                                                     15.7]))
+        assert self.run_main(tmp_path) == 0
+        assert self.run_main(tmp_path, "--trend", str(path)) == 1
+
+
+class TestHistoryAppend:
+    """benchmarks/_common.py writes rows the --trend gate reads back."""
+
+    def _load_common(self, tmp_path, monkeypatch):
+        import importlib.util
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        spec = importlib.util.spec_from_file_location(
+            "_bench_common_under_test", root / "benchmarks/_common.py")
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        monkeypatch.setattr(module, "RESULTS_DIR", tmp_path)
+        monkeypatch.setattr(module, "HISTORY_FILE",
+                            tmp_path / "history.jsonl")
+        return module
+
+    def test_report_appends_history_row(self, tmp_path, monkeypatch,
+                                        capsys):
+        common = self._load_common(tmp_path, monkeypatch)
+        common.report("fig5a", ["line one"], elapsed_s=10.0)
+        common.report("fig5a", ["line two"], elapsed_s=11.0)
+        capsys.readouterr()
+        rows = load_history(tmp_path / "history.jsonl")
+        assert [r["elapsed_s"] for r in rows] == [10.0, 11.0]
+        row = rows[0]
+        assert row["schema"] == HISTORY_SCHEMA
+        assert row["name"] == "fig5a" and row["preset"] == "quick"
+        assert set(row) >= {"backend", "jobs", "trials", "git_sha",
+                            "created_unix"}
+        # The rows feed straight into the trend gate.
+        verdicts = trend_verdicts(rows, window=4, step_ratio=1.02,
+                                  max_slowdown=1.5, min_baseline_s=2.0)
+        assert len(verdicts) == 1 and not verdicts[0].flagged
