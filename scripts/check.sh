@@ -15,6 +15,9 @@ python -m tools.lint src tests benchmarks --json lint-report.json
 echo "== repro-lint R6 gate (no print in library) =="
 python -m tools.lint --select R6 src
 
+echo "== repro-lint R7 gate (stride tricks only in repro.backend) =="
+python -m tools.lint --select R7 src
+
 echo "== repro-lint R8 gate (stage hashes match committed baseline) =="
 python -m tools.lint --select R8 src
 

@@ -7,6 +7,8 @@ Usage (after ``pip install -e .``):
     python -m repro train --workload lenet --preset quick
     python -m repro deploy --workload lenet --method "vawo*+pwt" \
         --sigma 0.5 --granularity 16 --trials 5 --jobs 4 --profile
+    python -m repro serve --workload lenet --port 0 \
+        --port-file serve.port --max-batch 8 --profile
     python -m repro experiment --name fig5a
     python -m repro obs summarize obs/deploy-manifest.json
     python -m repro obs critical-path obs/
@@ -27,7 +29,14 @@ workers follow the same policy.
 programming-cycle trials across worker processes (``0`` = one per
 core); results are bit-identical to a serial run at the same seed.
 
-``--profile`` (on ``train``/``deploy``/``experiment``) enables the
+``serve`` starts a long-lived inference server over a programmed
+deployment (see ``repro.serve``): requests are micro-batched through
+the vectorized backend with responses bitwise identical to serving
+each request alone, programmed states warm-start from the artifact
+cache, and a bounded queue sheds overload with 429-style errors.
+
+``--profile`` (on ``train``/``deploy``/``serve``/``experiment``)
+enables the
 observability layer for the run and writes a spans JSONL plus a
 structured run manifest under ``--obs-dir`` (default ``obs/``). The
 ``repro obs`` toolkit reads those artifacts back: ``summarize``
@@ -119,6 +128,47 @@ def _add_deploy(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--saf", type=float, nargs=2, metavar=("SA0", "SA1"),
                    default=None, help="stuck-at fault rates")
     _add_jobs_arg(p)
+    _add_cache_args(p)
+    _add_backend_arg(p)
+    _add_profile_args(p)
+
+
+def _add_serve(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "serve", help="serve inference requests over a programmed "
+                      "crossbar deployment")
+    p.add_argument("--workload", default="lenet",
+                   choices=["lenet", "resnet18", "vgg16"])
+    p.add_argument("--preset", default="quick", choices=["quick", "full"])
+    p.add_argument("--method", default="vawo*+pwt",
+                   choices=["plain", "vawo", "vawo*", "pwt", "vawo*+pwt"])
+    p.add_argument("--sigma", type=float, default=0.5)
+    p.add_argument("--granularity", "-m", type=int, default=16)
+    p.add_argument("--cell-bits", type=int, default=1, choices=[1, 2],
+                   help="1 = SLC, 2 = 2-bit MLC")
+    p.add_argument("--seed", type=int, default=0,
+                   help="responses bitwise-match trial 0 of `repro deploy "
+                        "--seed N` (default: 0)")
+    p.add_argument("--saf", type=float, nargs=2, metavar=("SA0", "SA1"),
+                   default=None, help="stuck-at fault rates")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7453,
+                   help="TCP port; 0 picks an ephemeral port "
+                        "(default: 7453)")
+    p.add_argument("--port-file", default=None, metavar="FILE",
+                   help="write host:port here once bound (for --port 0)")
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="micro-batch size; every dispatch is padded to "
+                        "exactly this many samples (default: 8)")
+    p.add_argument("--max-wait-ms", type=float, default=2.0,
+                   help="batching window from the oldest queued request "
+                        "(default: 2.0)")
+    p.add_argument("--queue-limit", type=int, default=64,
+                   help="bounded-queue depth; requests past it are shed "
+                        "with a 429-style error (default: 64)")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="default per-request deadline; expired requests "
+                        "get a 504-style error (default: none)")
     _add_cache_args(p)
     _add_backend_arg(p)
     _add_profile_args(p)
@@ -291,6 +341,55 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    profiling = _profile_begin(args, "serve")
+    import asyncio
+
+    from repro.serve import InferenceService, ServeConfig, ServeServer
+
+    config = ServeConfig(
+        workload=args.workload, preset=args.preset, method=args.method,
+        sigma=args.sigma, granularity=args.granularity,
+        cell_bits=args.cell_bits, seed=args.seed,
+        saf_rates=tuple(args.saf) if args.saf else None,
+        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+        queue_limit=args.queue_limit, deadline_ms=args.deadline_ms)
+    service = InferenceService(config)
+    prepared = service.prepare()
+    _echo(f"model:    {config.describe()}")
+    _echo(f"state:    {'warm start' if prepared.warm_start else 'programmed'}"
+          f"  key {prepared.model_key[:16]}…")
+    _echo(f"batching: max_batch={config.max_batch} "
+          f"max_wait_ms={config.max_wait_ms} "
+          f"queue_limit={config.queue_limit}")
+
+    def on_ready(host: str, port: int) -> None:
+        if args.port_file:
+            path = Path(args.port_file)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(f"{host}:{port}\n")
+        _echo(f"listening: {host}:{port}  (op: ping|infer|stats|shutdown; "
+              f"newline-delimited JSON)")
+
+    server = ServeServer(service, host=args.host, port=args.port,
+                         on_ready=on_ready)
+    asyncio.run(server.run())
+    stats = server.stats()
+    _echo(f"drained:  {stats['requests']} request(s) in "
+          f"{stats['batches']} batch(es), {stats['shed']} shed, "
+          f"{stats['expired']} expired")
+    if profiling:
+        _profile_end(args, "serve",
+                     extra={"workload": args.workload, "method": args.method,
+                            "seed": args.seed, "model_key": stats["model_key"],
+                            "warm_start": stats["warm_start"],
+                            "max_batch": args.max_batch,
+                            "requests": stats["requests"],
+                            "batches": stats["batches"],
+                            "shed": stats["shed"]})
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     profiling = _profile_begin(args, f"experiment-{args.name}")
     from repro.eval import experiments as ex
@@ -392,6 +491,8 @@ def _cmd_info(_args: argparse.Namespace) -> int:
           "repro obs summarize|critical-path|flame|diff")
     _echo("parallelism:   --jobs/-j on deploy/experiment "
           "(repro.parallel, bit-identical to serial)")
+    _echo("serving:       repro serve (micro-batched, bitwise-"
+          "reproducible; registry warm starts via the artifact cache)")
     from repro.backend import available_backends, default_backend_name
     _echo(f"backends:      {', '.join(available_backends())} "
           f"(active: {default_backend_name()}; REPRO_BACKEND / --backend)")
@@ -408,6 +509,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     _add_train(sub)
     _add_deploy(sub)
+    _add_serve(sub)
     _add_experiment(sub)
     _add_overhead(sub)
     _add_obs(sub)
@@ -434,6 +536,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "train": _cmd_train,
         "deploy": _cmd_deploy,
+        "serve": _cmd_serve,
         "experiment": _cmd_experiment,
         "overhead": _cmd_overhead,
         "obs": _cmd_obs,

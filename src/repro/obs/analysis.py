@@ -74,12 +74,23 @@ def load_trace(path: PathLike) -> List[Dict[str, Any]]:
     return records
 
 
-def _single_match(directory: Path, pattern: str) -> Optional[Path]:
+def _pick_match(directory: Path, pattern: str) -> Optional[Path]:
+    """The file matching ``pattern`` in ``directory`` — newest on ties.
+
+    A default ``obs/`` directory accumulates one artifact set per
+    command (``deploy-manifest.json``, ``serve-manifest.json``, …);
+    resolving to the most recently written run keeps ``repro obs
+    summarize|critical-path|flame obs/`` working out of the box, and
+    the note names the siblings so older runs stay reachable by path.
+    """
     matches = sorted(directory.glob(pattern))
     if len(matches) > 1:
-        raise FileNotFoundError(
-            f"{directory} holds {len(matches)} files matching {pattern!r} "
-            f"({', '.join(m.name for m in matches)}); pass one explicitly")
+        newest = max(matches, key=lambda m: m.stat().st_mtime)
+        others = ", ".join(m.name for m in matches if m is not newest)
+        logger.info("%s holds %d files matching %r; using newest %s "
+                    "(also present: %s)", directory, len(matches), pattern,
+                    newest.name, others)
+        return newest
     return matches[0] if matches else None
 
 
@@ -87,10 +98,10 @@ def resolve_spans_path(path: PathLike) -> Path:
     """The spans JSONL behind ``path`` (file, manifest, or obs dir)."""
     p = Path(path)
     if p.is_dir():
-        manifest = _single_match(p, "*-manifest.json")
+        manifest = _pick_match(p, "*-manifest.json")
         if manifest is not None:
             return resolve_spans_path(manifest)
-        spans = _single_match(p, "*-spans.jsonl")
+        spans = _pick_match(p, "*-spans.jsonl")
         if spans is None:
             raise FileNotFoundError(
                 f"{p} holds neither a *-manifest.json nor a *-spans.jsonl")
@@ -109,7 +120,7 @@ def resolve_manifest_path(path: PathLike) -> Path:
     """The run-manifest JSON behind ``path`` (file or obs dir)."""
     p = Path(path)
     if p.is_dir():
-        manifest = _single_match(p, "*-manifest.json")
+        manifest = _pick_match(p, "*-manifest.json")
         if manifest is None:
             raise FileNotFoundError(f"{p} holds no *-manifest.json")
         return manifest

@@ -111,9 +111,12 @@ def summarize_path(path: PathLike) -> str:
 
     Directories prefer their manifest when one exists and fall back to
     the streamed span file otherwise (interrupted run); a bare
-    ``.jsonl`` path always takes the span-aggregation route.
+    ``.jsonl`` path always takes the span-aggregation route. When a
+    directory holds artifacts from several commands (``deploy-…`` and
+    ``serve-…`` side by side), the most recently written run wins —
+    same rule as the ``repro obs`` analysis resolvers.
     """
-    from repro.obs.analysis import resolve_manifest_path
+    from repro.obs.analysis import _pick_match, resolve_manifest_path
 
     p = Path(path)
     manifest: Optional[Path] = None
@@ -121,14 +124,10 @@ def summarize_path(path: PathLike) -> str:
         try:
             manifest = resolve_manifest_path(p)
         except FileNotFoundError:
-            spans = sorted(p.glob("*-spans.jsonl"))
-            if not spans:
+            spans = _pick_match(p, "*-spans.jsonl")
+            if spans is None:
                 raise
-            if len(spans) > 1:
-                raise FileNotFoundError(
-                    f"{p} holds {len(spans)} span streams and no manifest; "
-                    f"pass one explicitly") from None
-            p = spans[0]
+            p = spans
     elif not p.name.endswith(".jsonl"):
         manifest = p
     if manifest is not None:

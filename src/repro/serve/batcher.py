@@ -1,0 +1,275 @@
+"""Micro-batching with bitwise-reproducible fixed-shape dispatch.
+
+The batcher's contract is the serving layer's core correctness claim:
+**a request's outputs are bitwise identical whether it was served alone
+or coalesced with arbitrary other traffic.** That is *not* free with
+BLAS-backed kernels — ``(X[:n] @ W)`` and ``(X @ W)[:n]`` differ in the
+last bits because GEMM blocking depends on the problem shape, so naive
+concatenation batching would make results depend on who else happened
+to be in the queue. The batcher therefore never varies the problem
+shape: every dispatch is zero-padded to exactly ``max_batch`` samples
+(:func:`pad_batch`), the model forward always sees one constant batch
+shape, and per-row results are positionally invariant and independent
+of the other rows' data. Pad rows are sliced off before completion.
+
+Admission control lives here too:
+
+* a bounded queue — a request that would push the queue past
+  ``queue_limit`` entries is rejected up front with
+  :class:`QueueFullError` (the server maps it to a 429-style response)
+  and counted as ``serve.shed``;
+* per-request deadlines — an entry whose deadline passed while it
+  queued is failed with :class:`DeadlineExceededError` at dispatch time
+  instead of wasting a forward pass on an answer nobody is waiting for;
+* graceful drain — :meth:`MicroBatcher.drain` stops intake, serves
+  everything already queued, and only then stops the dispatch task.
+
+Requests larger than ``max_batch`` are split into ``max_batch``-sized
+chunks (each a fixed-shape dispatch) and reassembled in order, so
+arbitrary request sizes keep the bitwise guarantee.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, List, Optional
+
+import numpy as np
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+__all__ = ["MicroBatcher", "QueueFullError", "DeadlineExceededError",
+           "pad_batch"]
+
+
+class QueueFullError(RuntimeError):
+    """The bounded request queue is full — the request was shed (429)."""
+
+
+class DeadlineExceededError(RuntimeError):
+    """The request's deadline passed before it could be dispatched (504)."""
+
+
+def pad_batch(inputs: np.ndarray, n: int) -> np.ndarray:
+    """Zero-pad ``inputs`` (k, ...) to exactly ``n`` samples.
+
+    The returned array always has ``n`` leading rows, so every forward
+    pass downstream runs at one constant problem shape — the property
+    that makes batched results bitwise equal to serving alone.
+    """
+    k = inputs.shape[0]
+    if k > n:
+        raise ValueError(f"batch of {k} samples exceeds pad size {n}")
+    if k == n:
+        return inputs
+    pad = np.zeros((n - k,) + inputs.shape[1:], dtype=inputs.dtype)
+    return np.concatenate([inputs, pad], axis=0)
+
+
+@dataclass
+class _Pending:
+    """One queued fixed-shape chunk of a request."""
+
+    inputs: np.ndarray              # (k, ...), k <= max_batch
+    future: "asyncio.Future[np.ndarray]"
+    enqueued_s: float               # perf_counter at enqueue
+    deadline_s: Optional[float]     # absolute perf_counter deadline
+
+
+class MicroBatcher:
+    """Coalesce concurrent requests into fixed-shape batched forwards.
+
+    ``run_batch`` receives a float array of exactly ``max_batch``
+    samples (live requests first, zero padding after) and returns the
+    per-sample outputs in the same order. Dispatch waits up to
+    ``max_wait_ms`` from the oldest queued entry for more requests to
+    coalesce, or fires immediately once ``max_batch`` samples are
+    queued. The dispatch runs *synchronously* on the event-loop thread:
+    its ``serve.batch`` span nests under whatever span the loop's
+    thread holds open (the CLI's ``run.serve`` root), and new requests
+    pile up in the socket buffers meanwhile — which is exactly what
+    makes the next batch coalesce.
+    """
+
+    def __init__(self, run_batch: Callable[[np.ndarray], np.ndarray],
+                 max_batch: int = 8, max_wait_ms: float = 2.0,
+                 queue_limit: int = 64) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        self.run_batch = run_batch
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_ms / 1000.0
+        self.queue_limit = queue_limit
+        self.n_batches = 0              # dispatches actually run
+        self.n_requests = 0             # submit() calls accepted
+        self.n_shed = 0                 # submit() calls rejected (queue full)
+        self.n_expired = 0              # chunks dropped past their deadline
+        self._queue: Deque[_Pending] = deque()
+        self._wake = asyncio.Event()
+        self._task: Optional["asyncio.Task[None]"] = None
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the dispatch task on the running event loop."""
+        if self._task is None or self._task.done():
+            self._draining = False
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def drain(self) -> None:
+        """Serve everything queued, then stop the dispatch task.
+
+        New :meth:`submit` calls are rejected from the moment drain
+        begins; entries already accepted all complete (or fail their
+        deadline) before this returns.
+        """
+        self._draining = True
+        self._wake.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
+
+    @property
+    def queued(self) -> int:
+        """Entries currently waiting for dispatch."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # intake
+    # ------------------------------------------------------------------
+    async def submit(self, inputs: np.ndarray,
+                     deadline_ms: Optional[float] = None) -> np.ndarray:
+        """Queue one request and await its outputs.
+
+        ``inputs`` is ``(k, ...)``; the result is the corresponding
+        ``(k, ...)`` output rows, bitwise independent of co-batched
+        traffic. Raises :class:`QueueFullError` when the bounded queue
+        cannot take the request and :class:`DeadlineExceededError` when
+        ``deadline_ms`` elapses before dispatch.
+        """
+        arr = np.asarray(inputs)
+        if arr.ndim < 1 or arr.shape[0] < 1:
+            raise ValueError("a request needs at least one sample")
+        if self._draining:
+            raise QueueFullError("batcher is draining — not accepting work")
+        chunks = [arr[i:i + self.max_batch]
+                  for i in range(0, arr.shape[0], self.max_batch)]
+        if len(self._queue) + len(chunks) > self.queue_limit:
+            self.n_shed += 1
+            obs_metrics.inc("serve.shed")
+            raise QueueFullError(
+                f"queue holds {len(self._queue)}/{self.queue_limit} "
+                f"entries; request of {len(chunks)} chunk(s) shed")
+        self.n_requests += 1
+        obs_metrics.inc("serve.requests")
+        now = time.perf_counter()
+        deadline = now + deadline_ms / 1000.0 if deadline_ms else None
+        loop = asyncio.get_running_loop()
+        futures: List["asyncio.Future[np.ndarray]"] = []
+        for chunk in chunks:
+            future = loop.create_future()
+            self._queue.append(_Pending(inputs=chunk, future=future,
+                                        enqueued_s=now, deadline_s=deadline))
+            futures.append(future)
+        self._wake.set()
+        results = await asyncio.gather(*futures, return_exceptions=True)
+        errors = [r for r in results if isinstance(r, BaseException)]
+        if errors:
+            raise errors[0]
+        parts = [np.asarray(r) for r in results]
+        return parts[0] if len(parts) == 1 else np.concatenate(parts, axis=0)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        while True:
+            if not self._queue:
+                if self._draining:
+                    return
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            await self._coalesce_window()
+            self._dispatch_one()
+
+    async def _coalesce_window(self) -> None:
+        """Wait out the batching window for the oldest queued entry."""
+        while (not self._draining
+               and self._queued_samples() < self.max_batch):
+            head = self._queue[0]
+            remaining = self.max_wait_s - (time.perf_counter()
+                                           - head.enqueued_s)
+            if remaining <= 0:
+                return
+            self._wake.clear()
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout=remaining)
+            except asyncio.TimeoutError:
+                return
+
+    def _queued_samples(self) -> int:
+        return sum(entry.inputs.shape[0] for entry in self._queue)
+
+    def _dispatch_one(self) -> None:
+        """Pull one fixed-shape batch off the queue and serve it."""
+        now = time.perf_counter()
+        taken: List[_Pending] = []
+        samples = 0
+        while self._queue:
+            entry = self._queue[0]
+            if entry.deadline_s is not None and now > entry.deadline_s:
+                self._queue.popleft()
+                self._expire(entry)
+                continue
+            if samples + entry.inputs.shape[0] > self.max_batch:
+                break
+            self._queue.popleft()
+            taken.append(entry)
+            samples += entry.inputs.shape[0]
+        if not taken:
+            return
+        batch = (taken[0].inputs if len(taken) == 1
+                 else np.concatenate([e.inputs for e in taken], axis=0))
+        padded = pad_batch(batch, self.max_batch)
+        try:
+            with span("serve.batch", size=samples, entries=len(taken)):
+                outputs = np.asarray(self.run_batch(padded))
+        except Exception as exc:  # noqa: BLE001 — one bad batch must not kill the loop
+            logger.warning("batch of %d sample(s) failed: %s: %s",
+                           samples, type(exc).__name__, exc)
+            for entry in taken:
+                if not entry.future.done():
+                    entry.future.set_exception(exc)
+            return
+        self.n_batches += 1
+        obs_metrics.inc("serve.batches")
+        obs_metrics.observe("serve.batch_size", samples)
+        offset = 0
+        for entry in taken:
+            k = entry.inputs.shape[0]
+            rows = np.ascontiguousarray(outputs[offset:offset + k])
+            offset += k
+            obs_metrics.observe("serve.queue_wait_s", now - entry.enqueued_s)
+            if not entry.future.done():
+                entry.future.set_result(rows)
+
+    def _expire(self, entry: _Pending) -> None:
+        self.n_expired += 1
+        obs_metrics.inc("serve.expired")
+        if not entry.future.done():
+            entry.future.set_exception(DeadlineExceededError(
+                "deadline passed while the request was queued"))

@@ -1,0 +1,152 @@
+"""Blocking stdlib client for the newline-delimited JSON serve protocol.
+
+Used by the tier-1 tests, the CI serve-smoke job, and
+``benchmarks/bench_serve.py`` — all of which need a dependency-free way
+to talk to ``repro serve`` from another thread or process. One
+:class:`ServeClient` wraps one TCP connection; it is *not* shared
+between threads (each load-generator thread opens its own, like a real
+client fleet would).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from pathlib import Path
+from types import TracebackType
+from typing import Any, Dict, Optional, Sequence, Tuple, Type, Union
+
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+__all__ = ["ServeClient", "ServeRequestError", "read_endpoint_file",
+           "wait_for_server"]
+
+
+class ServeRequestError(RuntimeError):
+    """The server answered ``ok: false``; ``code`` mirrors HTTP."""
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+class ServeClient:
+    """One connection to a ``repro serve`` endpoint.
+
+    Works as a context manager::
+
+        with ServeClient(host, port) as client:
+            reply = client.infer(indices=[0, 1, 2])
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7453,
+                 timeout_s: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout_s)
+        self._io = self._sock.makefile("rwb")
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request object, return the decoded response.
+
+        Raises :class:`ServeRequestError` on ``ok: false`` responses
+        and :class:`ConnectionError` when the server hangs up.
+        """
+        self._io.write(json.dumps(payload).encode() + b"\n")
+        self._io.flush()
+        line = self._io.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = json.loads(line)
+        if not response.get("ok", False):
+            raise ServeRequestError(int(response.get("code", 500)),
+                                    str(response.get("error", "unknown")))
+        return response
+
+    def close(self) -> None:
+        try:
+            self._io.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type: Optional[Type[BaseException]],
+                 exc: Optional[BaseException],
+                 tb: Optional[TracebackType]) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        return self.request({"op": "ping"})
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the server to drain gracefully and exit."""
+        return self.request({"op": "shutdown"})
+
+    def infer(self, indices: Optional[Sequence[int]] = None,
+              inputs: Optional[Any] = None,
+              deadline_ms: Optional[float] = None) -> Dict[str, Any]:
+        """Run test-set rows (``indices``) or raw ``inputs`` samples."""
+        payload: Dict[str, Any] = {"op": "infer"}
+        if indices is not None:
+            payload["indices"] = [int(i) for i in indices]
+        if inputs is not None:
+            payload["inputs"] = inputs
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        return self.request(payload)
+
+
+def wait_for_server(host: str, port: int,
+                    timeout_s: float = 60.0) -> None:
+    """Block until the endpoint accepts connections (poll + ping)."""
+    deadline = time.monotonic() + timeout_s
+    delay = 0.05
+    while True:
+        try:
+            with ServeClient(host, port, timeout_s=5.0) as client:
+                client.ping()
+            return
+        except (OSError, ValueError, ConnectionError):
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"server at {host}:{port} not ready after "
+                    f"{timeout_s:.0f}s") from None
+            time.sleep(delay)
+            delay = min(delay * 2, 1.0)
+
+
+def read_endpoint_file(path: Union[str, Path],
+                       timeout_s: float = 60.0) -> Tuple[str, int]:
+    """Wait for a ``--port-file`` to appear and return ``(host, port)``.
+
+    The CLI writes ``host:port`` once the socket is bound, so scripts
+    started with ``--port 0`` (ephemeral) can find the endpoint without
+    scraping stdout.
+    """
+    p = Path(path)
+    deadline = time.monotonic() + timeout_s
+    while True:
+        if p.exists():
+            text = p.read_text().strip()
+            if text:
+                host, _, port = text.rpartition(":")
+                return host, int(port)
+        if time.monotonic() > deadline:
+            raise TimeoutError(f"endpoint file {p} not written after "
+                               f"{timeout_s:.0f}s")
+        time.sleep(0.05)

@@ -1,0 +1,234 @@
+"""Asyncio TCP server speaking newline-delimited JSON.
+
+One connection carries any number of requests, each a single JSON
+object on one line; the server answers each with a single JSON line.
+Operations:
+
+``{"op": "ping"}``
+    liveness → ``{"ok": true, "op": "ping"}`` plus the model key.
+``{"op": "infer", "indices": [...]}`` / ``{"op": "infer", "inputs": [...]}``
+    run samples through the micro-batcher. Responses carry ``outputs``
+    (per-sample logits — JSON round-trips float64 exactly, so the
+    bitwise guarantee survives the wire), ``predictions`` (argmax), and
+    in index mode ``labels`` so clients can score accuracy locally.
+    Per-request ``deadline_ms`` overrides the server default.
+``{"op": "stats"}``
+    live counters (requests/batches/shed/expired, queue depth).
+``{"op": "shutdown"}``
+    acknowledge, then gracefully drain: intake stops, queued work is
+    served, in-flight responses are written, the process exits 0.
+
+Failure semantics mirror HTTP: a shed request gets ``code: 429``, an
+expired deadline ``code: 504``, a malformed payload ``code: 400`` —
+all as error *responses* on a healthy connection, never a dropped
+socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import time
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from repro.obs import metrics as obs_metrics
+from repro.serve.batcher import DeadlineExceededError, QueueFullError
+from repro.serve.service import InferenceService
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+__all__ = ["ServeServer"]
+
+#: Cap on one request line (64 MiB) — far above any sane batch, small
+#: enough that a garbage client cannot balloon the process.
+_LINE_LIMIT = 64 * 1024 * 1024
+
+#: After drain, wait at most this long for in-flight handler turns to
+#: write their final responses before closing connections anyway.
+_FLUSH_TIMEOUT_S = 5.0
+
+
+class ServeServer:
+    """Serve one :class:`InferenceService` over a loopback TCP socket.
+
+    ``on_ready(host, port)`` fires once the socket is bound and the
+    model is resolved — the CLI uses it to write the port file and echo
+    the endpoint; tests use it to learn the ephemeral port.
+    """
+
+    def __init__(self, service: InferenceService, host: str = "127.0.0.1",
+                 port: int = 0,
+                 on_ready: Optional[Callable[[str, int], None]] = None,
+                 ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.on_ready = on_ready
+        self.batcher = service.make_batcher()
+        self._stop = asyncio.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._active_requests = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def run(self) -> None:
+        """Bind, serve until shutdown/signal, drain, return."""
+        self.service.prepare()
+        self._loop = asyncio.get_running_loop()
+        self.batcher.start()
+        self._install_signal_handlers()
+        server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port,
+            limit=_LINE_LIMIT)
+        bound = server.sockets[0].getsockname()
+        self.port = int(bound[1])
+        logger.info("serving on %s:%d", self.host, self.port)
+        if self.on_ready is not None:
+            self.on_ready(self.host, self.port)
+        async with server:
+            await self._stop.wait()
+            logger.info("draining %d queued entr(ies)", self.batcher.queued)
+            await self.batcher.drain()
+            await self._wait_idle()
+        logger.info("drained: %d request(s) in %d batch(es), %d shed",
+                    self.batcher.n_requests, self.batcher.n_batches,
+                    self.batcher.n_shed)
+
+    def request_stop(self) -> None:
+        """Begin graceful shutdown (idempotent, signal- and thread-safe).
+
+        ``asyncio.Event`` is not thread-safe, so callers off the loop
+        thread (a controlling test, an embedding application) are
+        marshalled onto the loop; before ``run()`` the flag is set
+        directly and the serve loop exits immediately on entry.
+        """
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            self._stop.set()
+        else:
+            loop.call_soon_threadsafe(self._stop.set)
+
+    def _install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, self.request_stop)
+            except (NotImplementedError, RuntimeError):
+                # No loop-level signal support on this platform; Ctrl-C
+                # then surfaces as KeyboardInterrupt in the CLI instead.
+                return
+
+    async def _wait_idle(self) -> None:
+        if self._active_requests == 0:
+            return
+        try:
+            await asyncio.wait_for(self._idle.wait(),
+                                   timeout=_FLUSH_TIMEOUT_S)
+        except asyncio.TimeoutError:
+            logger.warning("%d request(s) still in flight after drain; "
+                           "closing anyway", self._active_requests)
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while not self._stop.is_set():
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._handle_line(line)
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+                if response.get("op") == "shutdown":
+                    # The acknowledgement is on the wire; now stop.
+                    self.request_stop()
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _handle_line(self, line: bytes) -> Dict[str, Any]:
+        self._active_requests += 1
+        self._idle.clear()
+        started = time.perf_counter()
+        try:
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as exc:
+                return _error(400, f"invalid JSON: {exc}")
+            if not isinstance(request, dict):
+                return _error(400, "request must be a JSON object")
+            op = request.get("op", "infer")
+            if op == "ping":
+                return {"ok": True, "op": "ping",
+                        "model_key": self.service.prepare().model_key}
+            if op == "stats":
+                return {"ok": True, "op": "stats", **self.stats()}
+            if op == "shutdown":
+                return {"ok": True, "op": "shutdown"}
+            if op == "infer":
+                return await self._handle_infer(request)
+            return _error(400, f"unknown op {op!r}")
+        finally:
+            obs_metrics.observe("serve.request_wall_s",
+                                time.perf_counter() - started)
+            self._active_requests -= 1
+            if self._active_requests == 0:
+                self._idle.set()
+
+    async def _handle_infer(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            inputs, indices = self.service.resolve_inputs(request)
+        except (ValueError, TypeError) as exc:
+            return _error(400, str(exc))
+        deadline_ms = request.get("deadline_ms",
+                                  self.service.config.deadline_ms)
+        try:
+            outputs = await self.batcher.submit(inputs,
+                                                deadline_ms=deadline_ms)
+        except QueueFullError as exc:
+            return _error(429, str(exc))
+        except DeadlineExceededError as exc:
+            return _error(504, str(exc))
+        response: Dict[str, Any] = {
+            "ok": True, "op": "infer",
+            "outputs": outputs.tolist(),
+            "predictions": np.argmax(outputs, axis=1).astype(int).tolist(),
+        }
+        if indices is not None:
+            response["labels"] = self.service.labels_for(indices)
+        return response
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        b = self.batcher
+        prepared = self.service.prepare()
+        return {"requests": b.n_requests, "batches": b.n_batches,
+                "shed": b.n_shed, "expired": b.n_expired,
+                "queued": b.queued, "max_batch": b.max_batch,
+                "test_size": int(prepared.test_images.shape[0]),
+                "model_key": prepared.model_key,
+                "warm_start": prepared.warm_start}
+
+
+def _error(code: int, message: str) -> Dict[str, Any]:
+    return {"ok": False, "code": code, "error": message}

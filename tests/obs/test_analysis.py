@@ -5,6 +5,7 @@ trace whose self-times and critical path are known exactly.
 """
 
 import json
+import os
 
 import pytest
 
@@ -220,16 +221,59 @@ class TestPathResolution:
         resolved = analysis.resolve_spans_path(d / "deploy-manifest.json")
         assert resolved == d / "deploy-spans.jsonl"
 
-    def test_ambiguous_directory_rejected(self, tmp_path):
-        d = self._obs_dir(tmp_path)
-        save_json(d / "train-manifest.json",
-                  build_manifest(command="train", spans=[]))
-        with pytest.raises(FileNotFoundError):
-            analysis.resolve_spans_path(d)
-
     def test_empty_directory_rejected(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             analysis.resolve_spans_path(tmp_path)
+
+
+class TestMixedDirResolution:
+    """A default ``obs/`` dir accumulates one artifact set per command
+    (deploy + serve, say); resolution picks the newest run rather than
+    erroring, so ``repro obs summarize obs/`` works out of the box."""
+
+    def _mixed_dir(self, tmp_path):
+        deploy_spans = write_golden(tmp_path / "deploy-spans.jsonl")
+        save_json(tmp_path / "deploy-manifest.json",
+                  build_manifest(command="deploy", spans=GOLDEN,
+                                 spans_file=deploy_spans.name))
+        serve_golden = [dict(s, name=s["name"].replace("deploy", "serve"))
+                        for s in GOLDEN]
+        serve_spans = tmp_path / "serve-spans.jsonl"
+        with open(serve_spans, "w") as fh:
+            for record in serve_golden:
+                fh.write(json.dumps(record) + "\n")
+        save_json(tmp_path / "serve-manifest.json",
+                  build_manifest(command="serve", spans=serve_golden,
+                                 spans_file=serve_spans.name))
+        # Deterministic mtimes: the serve run happened after the deploy.
+        for i, name in enumerate(["deploy-spans.jsonl",
+                                  "deploy-manifest.json",
+                                  "serve-spans.jsonl",
+                                  "serve-manifest.json"]):
+            os.utime(tmp_path / name, (1_000_000 + i, 1_000_000 + i))
+        return tmp_path
+
+    def test_newest_manifest_wins(self, tmp_path):
+        d = self._mixed_dir(tmp_path)
+        assert analysis.resolve_manifest_path(d).name == \
+            "serve-manifest.json"
+        assert analysis.resolve_spans_path(d).name == "serve-spans.jsonl"
+
+    def test_older_run_stays_reachable_by_path(self, tmp_path):
+        d = self._mixed_dir(tmp_path)
+        resolved = analysis.resolve_spans_path(d / "deploy-manifest.json")
+        assert resolved == d / "deploy-spans.jsonl"
+
+    def test_summarize_mixed_dir_picks_newest(self, tmp_path):
+        d = self._mixed_dir(tmp_path)
+        assert "run manifest — serve" in summarize_path(d)
+
+    def test_spans_only_mixed_dir_picks_newest_stream(self, tmp_path):
+        d = self._mixed_dir(tmp_path)
+        (d / "deploy-manifest.json").unlink()
+        (d / "serve-manifest.json").unlink()
+        assert analysis.resolve_spans_path(d).name == "serve-spans.jsonl"
+        assert "run.serve" in summarize_path(d)
 
 
 class TestSummarizeStreamedDir:

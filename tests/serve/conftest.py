@@ -1,0 +1,65 @@
+"""Shared serving fixtures: a deployed TinyMLP behind an explicit store.
+
+The service fixtures are module-scoped — programming even a TinyMLP
+deployment costs seconds, and every test here only *reads* the
+programmed model — so the registry gets an explicit module-lifetime
+:class:`CacheStore` instead of the function-scoped ``REPRO_CACHE``
+isolation the global conftest provides.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import CacheStore
+from repro.data.loaders import Dataset
+from repro.eval.experiments import Workload
+from repro.nn.optim import Adam
+from repro.nn.trainer import evaluate_accuracy, train_classifier
+from repro.serve import InferenceService, ModelRegistry, ServeConfig
+from repro.utils.rng import make_rng
+
+from ..conftest import TinyMLP, make_blob_dataset
+
+
+def build_tiny_workload() -> Workload:
+    """Deterministic TinyMLP workload (fixed seeds throughout), so a
+    fresh process reconstructs the bit-identical model and data."""
+    data = make_blob_dataset(320)
+    train = Dataset(data.images[:240], data.labels[:240])
+    test = Dataset(data.images[240:], data.labels[240:])
+    model = TinyMLP(rng=make_rng(1))
+    opt = Adam(model.parameters(), lr=5e-3, weight_decay=1e-4)
+    train_classifier(model, train, epochs=12, batch_size=32,
+                     optimizer=opt, rng=make_rng(2))
+    return Workload(name="tiny", model=model, train=train, test=test,
+                    float_accuracy=evaluate_accuracy(model, test))
+
+
+def tiny_serve_config(**overrides) -> ServeConfig:
+    """A fast deployment config ("vawo*" skips PWT's training loop)."""
+    base = dict(workload="tiny", preset="quick", method="vawo*",
+                sigma=0.3, granularity=8, seed=0,
+                max_batch=4, max_wait_ms=1.0, queue_limit=64)
+    base.update(overrides)
+    return ServeConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def tiny_workload():
+    return build_tiny_workload()
+
+
+@pytest.fixture(scope="module")
+def module_store(tmp_path_factory):
+    return CacheStore(tmp_path_factory.mktemp("serve-store"))
+
+
+@pytest.fixture(scope="module")
+def tiny_service(tiny_workload, module_store):
+    """A prepared (programmed) service over the TinyMLP deployment."""
+    service = InferenceService(tiny_serve_config(),
+                               registry=ModelRegistry(module_store),
+                               workload=tiny_workload)
+    service.prepare()
+    return service

@@ -1,0 +1,239 @@
+"""Micro-batcher contracts: bitwise determinism, shedding, deadlines."""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.serve import (DeadlineExceededError, MicroBatcher, QueueFullError,
+                         pad_batch)
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestPadBatch:
+    def test_pads_with_zero_rows(self):
+        x = np.arange(6, dtype=np.float64).reshape(2, 3)
+        padded = pad_batch(x, 5)
+        assert padded.shape == (5, 3)
+        assert np.array_equal(padded[:2], x)
+        assert not padded[2:].any()
+
+    def test_exact_size_is_identity(self):
+        x = np.ones((3, 2))
+        assert pad_batch(x, 3) is x
+
+    def test_oversized_batch_rejected(self):
+        with pytest.raises(ValueError, match="exceeds pad size"):
+            pad_batch(np.ones((4, 2)), 3)
+
+
+class TestDeterminism:
+    """The core serving claim, on the real BLAS-backed forward path:
+    outputs are bitwise identical however requests coalesce."""
+
+    @pytest.fixture(scope="class")
+    def reference(self, tiny_service):
+        """Each sample served alone through max_batch-padded dispatch."""
+        x = tiny_service.prepare().test_images[:8]
+
+        async def serve_alone():
+            outs = []
+            batcher = tiny_service.make_batcher()
+            batcher.start()
+            for i in range(x.shape[0]):
+                outs.append(await batcher.submit(x[i:i + 1]))
+            await batcher.drain()
+            return outs
+
+        return x, _run(serve_alone())
+
+    @pytest.mark.parametrize("max_batch", [1, 2, 8])
+    def test_coalesced_equals_alone(self, tiny_service, reference,
+                                    max_batch):
+        x, alone_default = reference
+
+        async def serve_alone(mb):
+            outs = []
+            batcher = MicroBatcher(tiny_service.run_batch, max_batch=mb,
+                                   max_wait_ms=1.0)
+            batcher.start()
+            for i in range(x.shape[0]):
+                outs.append(await batcher.submit(x[i:i + 1]))
+            await batcher.drain()
+            return outs
+
+        async def serve_concurrent(mb):
+            batcher = MicroBatcher(tiny_service.run_batch, max_batch=mb,
+                                   max_wait_ms=5.0)
+            batcher.start()
+            outs = await asyncio.gather(
+                *[batcher.submit(x[i:i + 1]) for i in range(x.shape[0])])
+            await batcher.drain()
+            return outs, batcher.n_batches
+
+        alone = _run(serve_alone(max_batch))
+        together, n_batches = _run(serve_concurrent(max_batch))
+        for i in range(x.shape[0]):
+            assert np.array_equal(alone[i], together[i]), \
+                f"row {i} differs at max_batch={max_batch}"
+        if max_batch == 8:
+            # all 8 requests must actually have coalesced
+            assert n_batches == 1
+        # and at a *different* pad size the per-request results still
+        # only depend on the request itself
+        if max_batch != 4:
+            return
+        for i in range(x.shape[0]):
+            assert np.array_equal(alone_default[i], alone[i])
+
+    @pytest.mark.parametrize("order", list(itertools.permutations(range(4))))
+    def test_arrival_order_irrelevant(self, tiny_service, reference, order):
+        x, alone = reference
+
+        async def serve_in_order():
+            batcher = tiny_service.make_batcher()
+            batcher.start()
+            tasks = {}
+            for i in order:
+                tasks[i] = asyncio.ensure_future(batcher.submit(x[i:i + 1]))
+            results = {i: await t for i, t in tasks.items()}
+            await batcher.drain()
+            return results
+
+        results = _run(serve_in_order())
+        for i in range(4):
+            assert np.array_equal(results[i], alone[i]), \
+                f"row {i} depends on arrival order {order}"
+
+    def test_large_request_split_and_reassembled(self, tiny_service,
+                                                 reference):
+        x, alone = reference
+
+        async def one_big():
+            batcher = tiny_service.make_batcher()   # max_batch=4
+            batcher.start()
+            out = await batcher.submit(x)           # 8 samples -> 2 chunks
+            batches = batcher.n_batches
+            await batcher.drain()
+            return out, batches
+
+        out, batches = _run(one_big())
+        assert out.shape[0] == x.shape[0]
+        assert batches == 2
+        for i in range(x.shape[0]):
+            assert np.array_equal(out[i:i + 1], alone[i])
+
+
+class TestAdmissionControl:
+    def test_queue_full_sheds(self):
+        async def scenario():
+            # A wide-open coalescing window (max_batch far away, long
+            # max_wait) keeps accepted entries parked in the queue.
+            batcher = MicroBatcher(lambda b: b * 2.0, max_batch=8,
+                                   max_wait_ms=500.0, queue_limit=2)
+            batcher.start()
+            x = np.ones((1, 3))
+            pending = [asyncio.ensure_future(batcher.submit(x))
+                       for _ in range(2)]
+            await asyncio.sleep(0.01)
+            assert batcher.queued == 2
+            with pytest.raises(QueueFullError):
+                await batcher.submit(x)
+            assert batcher.n_shed == 1
+            assert batcher.n_requests == 2
+            # the parked entries were accepted and still complete
+            await batcher.drain()
+            for out in await asyncio.gather(*pending):
+                assert np.array_equal(out, x * 2.0)
+
+        _run(scenario())
+
+    def test_queue_limit_is_all_or_nothing(self):
+        async def scenario():
+            batcher = MicroBatcher(lambda b: b, max_batch=1, queue_limit=2)
+            # 3 chunks > limit 2, with an idle loop: reject immediately.
+            with pytest.raises(QueueFullError):
+                await batcher.submit(np.ones((3, 2)))
+            assert batcher.queued == 0
+            assert batcher.n_shed == 1
+            assert batcher.n_requests == 0
+
+        _run(scenario())
+
+    def test_deadline_expires_in_queue(self):
+        async def scenario():
+            # A long coalescing window holds the entry queued well past
+            # its 1 ms deadline; dispatch must expire it, not serve it.
+            batcher = MicroBatcher(lambda b: b * 2.0, max_batch=4,
+                                   max_wait_ms=80.0)
+            batcher.start()
+            with pytest.raises(DeadlineExceededError):
+                await batcher.submit(np.ones((1, 2)), deadline_ms=1.0)
+            assert batcher.n_expired == 1
+            assert batcher.n_batches == 0
+            # the loop survives and still serves fresh work
+            out = await batcher.submit(np.ones((1, 2)), deadline_ms=5000.0)
+            assert np.array_equal(out, np.full((1, 2), 2.0))
+            await batcher.drain()
+
+        _run(scenario())
+
+    def test_failed_batch_propagates_and_loop_survives(self):
+        calls = {"n": 0}
+
+        def flaky(batch):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient device fault")
+            return batch + 1.0
+
+        async def scenario():
+            batcher = MicroBatcher(flaky, max_batch=2, max_wait_ms=0.0)
+            batcher.start()
+            with pytest.raises(RuntimeError, match="transient device"):
+                await batcher.submit(np.zeros((1, 2)))
+            out = await batcher.submit(np.zeros((1, 2)))
+            assert np.array_equal(out, np.ones((1, 2)))
+            await batcher.drain()
+
+        _run(scenario())
+
+    def test_drain_serves_queued_then_rejects(self):
+        async def scenario():
+            batcher = MicroBatcher(lambda b: b * 3.0, max_batch=2,
+                                   max_wait_ms=50.0)
+            batcher.start()
+            pending = [asyncio.ensure_future(
+                batcher.submit(np.full((1, 2), float(i))))
+                for i in range(5)]
+            await asyncio.sleep(0)          # let entries enqueue
+            await batcher.drain()           # must serve all 5 first
+            outs = await asyncio.gather(*pending)
+            for i, out in enumerate(outs):
+                assert np.array_equal(out, np.full((1, 2), 3.0 * i))
+            with pytest.raises(QueueFullError, match="draining"):
+                await batcher.submit(np.ones((1, 2)))
+
+        _run(scenario())
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda b: b, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda b: b, max_wait_ms=-1.0)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda b: b, queue_limit=0)
+
+    def test_empty_request_rejected(self):
+        async def scenario():
+            batcher = MicroBatcher(lambda b: b)
+            with pytest.raises(ValueError, match="at least one sample"):
+                await batcher.submit(np.ones((0, 2)))
+
+        _run(scenario())

@@ -1,0 +1,218 @@
+"""Loopback server integration: protocol, admission control, drain."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.serve import (InferenceService, ServeClient, ServeRequestError,
+                         ServeServer, read_endpoint_file, wait_for_server)
+
+from .conftest import tiny_serve_config
+
+
+def _start(service):
+    """Run a server on a daemon thread; return (server, host, port,
+    thread)."""
+    ready = threading.Event()
+    endpoint = {}
+
+    def on_ready(host, port):
+        endpoint["host"], endpoint["port"] = host, port
+        ready.set()
+
+    server = ServeServer(service, port=0, on_ready=on_ready)
+    thread = threading.Thread(target=lambda: asyncio.run(server.run()),
+                              daemon=True)
+    thread.start()
+    assert ready.wait(timeout=120), "server did not come up"
+    return server, endpoint["host"], endpoint["port"], thread
+
+
+@pytest.fixture
+def running_server(tiny_service):
+    server, host, port, thread = _start(tiny_service)
+    wait_for_server(host, port, timeout_s=30)
+    yield server, host, port
+    server.request_stop()
+    thread.join(timeout=30)
+    assert not thread.is_alive(), "server thread failed to drain"
+
+
+class TestProtocol:
+    def test_ping_and_stats(self, running_server):
+        _, host, port = running_server
+        with ServeClient(host, port) as client:
+            pong = client.ping()
+            assert pong["ok"] and len(pong["model_key"]) == 64
+            stats = client.stats()
+            assert stats["max_batch"] == 4
+            assert stats["test_size"] == 80
+
+    def test_infer_by_index_includes_labels(self, running_server,
+                                            tiny_service):
+        _, host, port = running_server
+        with ServeClient(host, port) as client:
+            r = client.infer(indices=[0, 1, 2])
+        assert len(r["outputs"]) == 3
+        assert r["labels"] == tiny_service.labels_for([0, 1, 2])
+        assert r["predictions"] == \
+            [int(np.argmax(row)) for row in r["outputs"]]
+
+    def test_wire_roundtrip_is_bitwise(self, running_server, tiny_service):
+        """JSON float64 repr round-trips exactly: the logits a client
+        decodes equal the server-side forward bit for bit."""
+        _, host, port = running_server
+        x = tiny_service.prepare().test_images[:2]
+
+        async def direct():
+            batcher = tiny_service.make_batcher()
+            batcher.start()
+            out = await batcher.submit(x)
+            await batcher.drain()
+            return out
+
+        expected = asyncio.run(direct())
+        with ServeClient(host, port) as client:
+            served = np.array(client.infer(indices=[0, 1])["outputs"])
+        assert np.array_equal(served, expected)
+
+    def test_infer_raw_inputs(self, running_server, tiny_service):
+        _, host, port = running_server
+        sample = tiny_service.prepare().test_images[0]
+        with ServeClient(host, port) as client:
+            r = client.infer(inputs=[sample.tolist()])
+        assert "labels" not in r
+        assert len(r["outputs"]) == 1
+
+    def test_error_codes(self, running_server):
+        _, host, port = running_server
+        with ServeClient(host, port) as client:
+            with pytest.raises(ServeRequestError) as exc:
+                client.infer(indices=[10_000])
+            assert exc.value.code == 400
+            with pytest.raises(ServeRequestError) as exc:
+                client.infer(inputs=[[1.0, 2.0]])
+            assert exc.value.code == 400
+            with pytest.raises(ServeRequestError) as exc:
+                client.request({"op": "selfdestruct"})
+            assert exc.value.code == 400
+            # the connection survives every error response
+            assert client.ping()["ok"]
+
+    def test_malformed_json_gets_400(self, running_server):
+        _, host, port = running_server
+        client = ServeClient(host, port)
+        try:
+            client._io.write(b"{not json}\n")
+            client._io.flush()
+            import json as json_mod
+            response = json_mod.loads(client._io.readline())
+            assert response["ok"] is False and response["code"] == 400
+        finally:
+            client.close()
+
+    def test_concurrent_clients_batch_and_agree(self, running_server,
+                                                tiny_service):
+        _, host, port = running_server
+        labels = tiny_service.prepare().test_labels
+
+        def one(i):
+            with ServeClient(host, port) as client:
+                r = client.infer(indices=[i])
+                return r["predictions"][0], r["labels"][0]
+
+        with ThreadPoolExecutor(8) as pool:
+            results = list(pool.map(one, range(32)))
+        for i, (_, label) in enumerate(results):
+            assert label == int(labels[i])
+        acc = sum(p == label for p, label in results) / len(results)
+        assert acc > 0.5    # the deployment actually classifies
+
+
+class TestAdmission:
+    def test_server_sheds_with_429(self, tiny_service):
+        # Stall the forward so concurrent requests pile past the queue
+        # limit; the server must answer 429, not hang or drop sockets.
+        service = InferenceService(tiny_service.config,
+                                   registry=tiny_service.registry,
+                                   workload=tiny_service._workload)
+        service.prepare()
+        real = service.run_batch
+        service.run_batch = lambda x: (time.sleep(0.2), real(x))[1]
+        service.config = tiny_serve_config(queue_limit=1, max_batch=1,
+                                           max_wait_ms=0.0)
+        server, host, port, thread = _start(service)
+        try:
+            wait_for_server(host, port, timeout_s=30)
+            codes = []
+
+            def one(i):
+                with ServeClient(host, port) as client:
+                    try:
+                        client.infer(indices=[i])
+                        return "ok"
+                    except ServeRequestError as exc:
+                        codes.append(exc.code)
+                        return "shed"
+
+            with ThreadPoolExecutor(6) as pool:
+                outcomes = list(pool.map(one, range(6)))
+            assert "shed" in outcomes, outcomes
+            assert set(codes) == {429}
+            assert server.batcher.n_shed > 0
+        finally:
+            server.request_stop()
+            thread.join(timeout=30)
+
+    def test_deadline_times_out_with_504(self, tiny_service):
+        service = InferenceService(tiny_service.config,
+                                   registry=tiny_service.registry,
+                                   workload=tiny_service._workload)
+        service.prepare()
+        # A wide-open window parks the request past its deadline.
+        service.config = tiny_serve_config(max_batch=64, max_wait_ms=300.0,
+                                           deadline_ms=1.0)
+        server, host, port, thread = _start(service)
+        try:
+            wait_for_server(host, port, timeout_s=30)
+            with ServeClient(host, port) as client:
+                with pytest.raises(ServeRequestError) as exc:
+                    client.infer(indices=[0])
+                assert exc.value.code == 504
+                # per-request deadline overrides the server default
+                r = client.infer(indices=[0], deadline_ms=30_000.0)
+                assert r["ok"]
+            assert server.batcher.n_expired == 1
+        finally:
+            server.request_stop()
+            thread.join(timeout=30)
+
+
+class TestShutdown:
+    def test_client_shutdown_drains_and_exits(self, tiny_service):
+        server, host, port, thread = _start(tiny_service)
+        wait_for_server(host, port, timeout_s=30)
+        with ServeClient(host, port) as client:
+            r = client.infer(indices=[0])
+            assert r["ok"]
+            ack = client.shutdown()
+            assert ack["ok"]
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert server.batcher.queued == 0
+        with pytest.raises(OSError):
+            ServeClient(host, port, timeout_s=2.0)
+
+    def test_endpoint_file_roundtrip(self, tmp_path):
+        path = tmp_path / "endpoint"
+        path.write_text("127.0.0.1:12345\n")
+        assert read_endpoint_file(path, timeout_s=1.0) == \
+            ("127.0.0.1", 12345)
+        with pytest.raises(TimeoutError):
+            read_endpoint_file(tmp_path / "missing", timeout_s=0.2)

@@ -164,3 +164,71 @@ class TestObsToolkit:
         assert main(["obs", "summarize", str(obs_dir)]) == 0
         out = capsys.readouterr().out
         assert "trial.wall_s (hist)" in out and "p95=" in out
+
+
+class TestServe:
+    """`repro serve` end to end: loopback requests, drain, obs artifacts."""
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--method", "magic"])
+
+    def test_serve_loopback_roundtrip(self, tmp_path, capsys):
+        import threading
+
+        from repro.serve import (ServeClient, read_endpoint_file,
+                                 wait_for_server)
+
+        port_file = tmp_path / "serve.port"
+        obs_dir = tmp_path / "obs"
+        outcome = {}
+
+        def drive():
+            try:
+                host, port = read_endpoint_file(port_file, timeout_s=600)
+                wait_for_server(host, port, timeout_s=120)
+                with ServeClient(host, port) as client:
+                    reply = client.infer(indices=[0, 1, 2])
+                    outcome["predictions"] = reply["predictions"]
+                    outcome["labels"] = reply["labels"]
+                    outcome["stats"] = client.stats()
+                    client.shutdown()
+            except Exception as exc:  # noqa: BLE001 — surfaced via outcome
+                outcome["error"] = exc
+
+        driver = threading.Thread(target=drive)
+        driver.start()
+        try:
+            code = main(["serve", "--workload", "lenet", "--method",
+                         "vawo*", "--sigma", "0.5", "--seed", "0",
+                         "--port", "0", "--port-file", str(port_file),
+                         "--max-batch", "4", "--profile",
+                         "--obs-dir", str(obs_dir)])
+        finally:
+            driver.join(timeout=120)
+        assert "error" not in outcome, outcome.get("error")
+        assert code == 0
+        assert len(outcome["predictions"]) == 3
+        assert outcome["stats"]["requests"] >= 1
+
+        out = capsys.readouterr().out
+        assert "listening:" in out
+        assert "drained:" in out
+        host, _, port = port_file.read_text().strip().rpartition(":")
+        assert host == "127.0.0.1" and int(port) > 0
+
+        manifest = obs_dir / "serve-manifest.json"
+        assert manifest.exists()
+        from repro.utils.serialization import load_json
+        doc = load_json(manifest)
+        assert doc["command"] == "serve"
+        assert doc["extra"]["requests"] >= 1
+        assert doc["metrics"]["counters"]["serve.requests"] >= 1
+        hist = doc["metrics"]["histograms"]["serve.batch_size"]
+        assert hist["count"] >= 1
+
+        # the serve obs dir resolves in the analysis toolkit
+        assert main(["obs", "summarize", str(obs_dir)]) == 0
+        assert "run manifest — serve" in capsys.readouterr().out
+        assert main(["obs", "critical-path", str(obs_dir)]) == 0
+        assert "critical path — run.serve" in capsys.readouterr().out
