@@ -116,9 +116,19 @@ class MicroBatcher:
         self.n_shed = 0                 # submit() calls rejected (queue full)
         self.n_expired = 0              # chunks dropped past their deadline
         self._queue: Deque[_Pending] = deque()
-        self._wake = asyncio.Event()
+        # Created lazily on the loop thread (_wake_event): on Python 3.9
+        # asyncio primitives bind get_event_loop() at construction, so
+        # an Event built here (no running loop) would not belong to the
+        # loop that start()/submit() later run on.
+        self._wake: Optional[asyncio.Event] = None
         self._task: Optional["asyncio.Task[None]"] = None
         self._draining = False
+
+    def _wake_event(self) -> asyncio.Event:
+        """The dispatch wake-up Event, created on first use on the loop."""
+        if self._wake is None:
+            self._wake = asyncio.Event()
+        return self._wake
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -127,6 +137,7 @@ class MicroBatcher:
         """Start the dispatch task on the running event loop."""
         if self._task is None or self._task.done():
             self._draining = False
+            self._wake_event()  # bind the Event to this running loop
             self._task = asyncio.get_running_loop().create_task(self._run())
 
     async def drain(self) -> None:
@@ -137,7 +148,7 @@ class MicroBatcher:
         deadline) before this returns.
         """
         self._draining = True
-        self._wake.set()
+        self._wake_event().set()
         if self._task is not None:
             await self._task
             self._task = None
@@ -176,7 +187,10 @@ class MicroBatcher:
         self.n_requests += 1
         obs_metrics.inc("serve.requests")
         now = time.perf_counter()
-        deadline = now + deadline_ms / 1000.0 if deadline_ms else None
+        # `is not None`, not truthiness: an explicit deadline_ms=0 means
+        # "already expired", not "no deadline".
+        deadline = (now + deadline_ms / 1000.0
+                    if deadline_ms is not None else None)
         loop = asyncio.get_running_loop()
         futures: List["asyncio.Future[np.ndarray]"] = []
         for chunk in chunks:
@@ -184,7 +198,7 @@ class MicroBatcher:
             self._queue.append(_Pending(inputs=chunk, future=future,
                                         enqueued_s=now, deadline_s=deadline))
             futures.append(future)
-        self._wake.set()
+        self._wake_event().set()
         results = await asyncio.gather(*futures, return_exceptions=True)
         errors = [r for r in results if isinstance(r, BaseException)]
         if errors:
@@ -200,8 +214,9 @@ class MicroBatcher:
             if not self._queue:
                 if self._draining:
                     return
-                self._wake.clear()
-                await self._wake.wait()
+                wake = self._wake_event()
+                wake.clear()
+                await wake.wait()
                 continue
             await self._coalesce_window()
             self._dispatch_one()
@@ -215,9 +230,10 @@ class MicroBatcher:
                                            - head.enqueued_s)
             if remaining <= 0:
                 return
-            self._wake.clear()
+            wake = self._wake_event()
+            wake.clear()
             try:
-                await asyncio.wait_for(self._wake.wait(), timeout=remaining)
+                await asyncio.wait_for(wake.wait(), timeout=remaining)
             except asyncio.TimeoutError:
                 return
 

@@ -69,11 +69,15 @@ class ServeServer:
         self.port = port
         self.on_ready = on_ready
         self.batcher = service.make_batcher()
-        self._stop = asyncio.Event()
+        # The Events are built inside run(): on Python 3.9 asyncio
+        # primitives bind get_event_loop() at construction, so creating
+        # them here (no running loop) would attach them to a loop other
+        # than the one asyncio.run() gives run().
+        self._stop: Optional[asyncio.Event] = None
+        self._stop_requested = False
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._active_requests = 0
-        self._idle = asyncio.Event()
-        self._idle.set()
+        self._idle: Optional[asyncio.Event] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -82,6 +86,11 @@ class ServeServer:
         """Bind, serve until shutdown/signal, drain, return."""
         self.service.prepare()
         self._loop = asyncio.get_running_loop()
+        self._stop = stop = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        if self._stop_requested:        # request_stop() before run()
+            stop.set()
         self.batcher.start()
         self._install_signal_handlers()
         server = await asyncio.start_server(
@@ -93,7 +102,7 @@ class ServeServer:
         if self.on_ready is not None:
             self.on_ready(self.host, self.port)
         async with server:
-            await self._stop.wait()
+            await stop.wait()
             logger.info("draining %d queued entr(ies)", self.batcher.queued)
             await self.batcher.drain()
             await self._wait_idle()
@@ -106,14 +115,19 @@ class ServeServer:
 
         ``asyncio.Event`` is not thread-safe, so callers off the loop
         thread (a controlling test, an embedding application) are
-        marshalled onto the loop; before ``run()`` the flag is set
-        directly and the serve loop exits immediately on entry.
+        marshalled onto the loop; before ``run()`` only a plain flag is
+        set and the serve loop exits immediately on entry.
         """
+        self._stop_requested = True
         loop = self._loop
-        if loop is None or loop.is_closed():
+        if loop is not None and not loop.is_closed():
+            loop.call_soon_threadsafe(self._set_stop)
+
+    def _set_stop(self) -> None:
+        """Flip the stop Event; runs on the loop thread."""
+        self._stop_requested = True
+        if self._stop is not None:
             self._stop.set()
-        else:
-            loop.call_soon_threadsafe(self._stop.set)
 
     def _install_signal_handlers(self) -> None:
         loop = asyncio.get_running_loop()
@@ -126,7 +140,7 @@ class ServeServer:
                 return
 
     async def _wait_idle(self) -> None:
-        if self._active_requests == 0:
+        if self._active_requests == 0 or self._idle is None:
             return
         try:
             await asyncio.wait_for(self._idle.wait(),
@@ -140,11 +154,17 @@ class ServeServer:
     # ------------------------------------------------------------------
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        stop = self._stop
+        assert stop is not None  # connections only exist while run() serves
         try:
-            while not self._stop.is_set():
+            while not stop.is_set():
                 try:
                     line = await reader.readline()
-                except (ConnectionResetError, asyncio.LimitOverrunError):
+                except (ConnectionResetError, ValueError):
+                    # StreamReader.readline wraps a line-limit overrun
+                    # in ValueError (it never surfaces LimitOverrunError
+                    # itself); either way the stream is unusable, so
+                    # close the connection instead of crashing the task.
                     break
                 if not line:
                     break
@@ -166,7 +186,8 @@ class ServeServer:
 
     async def _handle_line(self, line: bytes) -> Dict[str, Any]:
         self._active_requests += 1
-        self._idle.clear()
+        if self._idle is not None:
+            self._idle.clear()
         started = time.perf_counter()
         try:
             try:
@@ -190,7 +211,7 @@ class ServeServer:
             obs_metrics.observe("serve.request_wall_s",
                                 time.perf_counter() - started)
             self._active_requests -= 1
-            if self._active_requests == 0:
+            if self._active_requests == 0 and self._idle is not None:
                 self._idle.set()
 
     async def _handle_infer(self, request: Dict[str, Any]) -> Dict[str, Any]:
@@ -200,6 +221,10 @@ class ServeServer:
             return _error(400, str(exc))
         deadline_ms = request.get("deadline_ms",
                                   self.service.config.deadline_ms)
+        if deadline_ms is not None and not isinstance(deadline_ms,
+                                                      (int, float)):
+            return _error(400, "deadline_ms must be a number of "
+                               "milliseconds or null")
         try:
             outputs = await self.batcher.submit(inputs,
                                                 deadline_ms=deadline_ms)

@@ -184,6 +184,20 @@ class TestAdmissionControl:
 
         _run(scenario())
 
+    def test_zero_deadline_is_already_expired(self):
+        async def scenario():
+            # deadline_ms=0 means "already expired", not "no deadline".
+            batcher = MicroBatcher(lambda b: b, max_batch=4,
+                                   max_wait_ms=0.0)
+            batcher.start()
+            with pytest.raises(DeadlineExceededError):
+                await batcher.submit(np.ones((1, 2)), deadline_ms=0.0)
+            assert batcher.n_expired == 1
+            assert batcher.n_batches == 0
+            await batcher.drain()
+
+        _run(scenario())
+
     def test_failed_batch_propagates_and_loop_survives(self):
         calls = {"n": 0}
 

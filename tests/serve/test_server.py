@@ -102,6 +102,11 @@ class TestProtocol:
             with pytest.raises(ServeRequestError) as exc:
                 client.request({"op": "selfdestruct"})
             assert exc.value.code == 400
+            # a non-numeric deadline is a 400, never a dropped socket
+            with pytest.raises(ServeRequestError) as exc:
+                client.request({"op": "infer", "indices": [0],
+                                "deadline_ms": "soon"})
+            assert exc.value.code == 400
             # the connection survives every error response
             assert client.ping()["ok"]
 
@@ -208,6 +213,18 @@ class TestShutdown:
         assert server.batcher.queued == 0
         with pytest.raises(OSError):
             ServeClient(host, port, timeout_s=2.0)
+
+    def test_request_stop_before_run_exits_immediately(self, tiny_service):
+        # A stop requested before run() must be honoured on entry —
+        # and run() under asyncio.run() must not trip over primitives
+        # bound to another (or no) event loop at construction time.
+        server = ServeServer(tiny_service, port=0)
+        server.request_stop()
+
+        async def go():
+            await asyncio.wait_for(server.run(), timeout=30)
+
+        asyncio.run(go())
 
     def test_endpoint_file_roundtrip(self, tmp_path):
         path = tmp_path / "endpoint"
