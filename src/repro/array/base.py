@@ -1,0 +1,165 @@
+"""The abstract crossbar-array interface (hardware-abstraction layer).
+
+An :class:`ArrayBackend` is one physical (or simulated) RRAM array
+holding the cells of a single weight matrix: ``cells_per_weight``
+physical columns per weight column, one wordline per matrix row. The
+interface is deliberately small — exactly the operations a real array
+driver could implement:
+
+* :meth:`ArrayBackend.program` — write integer weight values (one
+  programming cycle; simulators redraw their cycle-to-cycle noise);
+* :meth:`ArrayBackend.load_cells` — overwrite the raw cell image (used
+  by scenario transforms and state restoration);
+* :meth:`ArrayBackend.read_back` — measure the current per-cell
+  conductances (what PWT's post-writing read-back consumes);
+* :meth:`ArrayBackend.vmm` / :meth:`ArrayBackend.vmm_grouped` — analog
+  Kirchhoff-law column currents for a wordline drive vector;
+* :meth:`ArrayBackend.key_components` — the declared
+  capability/metadata dict that content-addressed cache keys fold in,
+  so two arrays share artifacts exactly when their physics agree.
+
+Concrete implementations are selected through the registry in
+:mod:`repro.array` (``REPRO_ARRAY`` / ``--array``), mirroring
+:mod:`repro.backend`. The lognormal simulator extracted from the
+original pipeline is :class:`repro.array.sim.SimArray`; composable
+non-ideality transforms wrap any backend via
+:class:`repro.array.scenarios.ScenarioArray`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, ClassVar, Dict, Optional
+
+import numpy as np
+
+from repro.utils.rng import RngLike
+
+__all__ = ["ArrayBackend"]
+
+
+class ArrayBackend(abc.ABC):
+    """One crossbar array behind the hardware-abstraction layer.
+
+    State contract: an array is created unprogrammed; :meth:`program`
+    (or :meth:`load_cells`) installs a cell image of shape
+    ``(rows, cols, cells_per_weight)`` which :meth:`read_back`,
+    :meth:`vmm` and :meth:`vmm_grouped` then observe. Instances persist
+    across programming cycles, so chip-persistent non-idealities (fault
+    maps, per-device coefficients) live in the array, not the caller.
+    """
+
+    #: Registry name of the backend family (e.g. ``"sim"``).
+    name: ClassVar[str] = "abstract"
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def rows(self) -> int:
+        """Wordline count (weight-matrix rows)."""
+
+    @property
+    @abc.abstractmethod
+    def cols(self) -> int:
+        """Weight-column count (weight-matrix cols)."""
+
+    @property
+    @abc.abstractmethod
+    def cells_per_weight(self) -> int:
+        """Physical cells (bit slices) per weight."""
+
+    @property
+    @abc.abstractmethod
+    def cell(self) -> Any:
+        """The :class:`repro.device.cell.CellType` of this array."""
+
+    # ------------------------------------------------------------------
+    # programming / read-back
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def program(self, values: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        """Program integer weights ``values`` (rows, cols) — one cycle.
+
+        Returns the resulting per-cell conductances, shape
+        (rows, cols, cells_per_weight), which also become the array's
+        current state. Simulated backends redraw cycle-to-cycle noise
+        on every call, exactly like a physical re-programming.
+        """
+
+    @abc.abstractmethod
+    def load_cells(self, cells: np.ndarray) -> None:
+        """Overwrite the raw cell image, shape (rows, cols, n_cells).
+
+        This is the scenario engine's injection point: transforms
+        observe :meth:`program`'s output, perturb it, and store the
+        perturbed image back so every later read/VMM sees it.
+        """
+
+    @abc.abstractmethod
+    def read_back(self) -> np.ndarray:
+        """Measure the current cell conductances.
+
+        Returns shape (rows, cols, cells_per_weight); raises
+        ``RuntimeError`` if the array was never programmed.
+        """
+
+    # ------------------------------------------------------------------
+    # analog compute
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def vmm(self, x: np.ndarray,
+            active_rows: Optional[np.ndarray] = None) -> np.ndarray:
+        """Physical column currents for drive vector(s) ``x``.
+
+        ``x`` has shape (..., rows); returns (..., cols * n_cells) —
+        one current per physical bitline (cell column), in cell order
+        within each weight. ``active_rows`` (boolean mask or index
+        array) silences the other wordlines.
+        """
+
+    @abc.abstractmethod
+    def vmm_grouped(self, x: np.ndarray, group_rows: int) -> np.ndarray:
+        """Per-activation-group partial currents.
+
+        ``x`` has shape (..., rows); returns
+        (..., n_groups, cols * n_cells) — the per-cycle partial sums
+        the digital-offset adder trees consume (paper Section III-A).
+        """
+
+    # ------------------------------------------------------------------
+    # identity / cache keying
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def key_components(self) -> Dict[str, Any]:
+        """The capability/metadata dict naming this array's physics.
+
+        Folded into content-addressed cache keys (``serve_program``)
+        so programmed state is reused exactly when the array would
+        reproduce it: backend name, cell technology, variation
+        parameters, and any wrapped scenario parameters. Values must
+        be fingerprintable by :func:`repro.cache.keys.fingerprint`
+        (scalars, strings, nested tuples/dicts) — never raw arrays of
+        programmed state.
+        """
+
+    # ------------------------------------------------------------------
+    # conveniences shared by all backends
+    # ------------------------------------------------------------------
+    def program_weights(self, values: np.ndarray,
+                        rng: RngLike = None) -> np.ndarray:
+        """Weight-level view of :meth:`program`.
+
+        Programs one cycle and reassembles the noisy cells into
+        crossbar real weights — returns shape (rows, cols). This is
+        the interface iterative write-and-verify programming drives.
+        """
+        from repro.quant.bitslice import assemble_weights
+
+        cells = self.program(values, rng)
+        return assemble_weights(cells, self.cell.bits)
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(rows={self.rows}, cols={self.cols}, "
+                f"cells_per_weight={self.cells_per_weight})")

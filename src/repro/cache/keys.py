@@ -37,7 +37,10 @@ STAGE_VERSIONS: Mapping[str, int] = {
     "calibrate": 1,     # per-layer input activation peaks (core.pipeline)
     "gradients": 1,     # per-weight gradient RMS estimates (core.pipeline)
     "vawo": 1,          # run_vawo solutions (core.vawo via core.pipeline)
-    "serve_program": 1,  # programmed deployments (serve.registry)
+    "serve_program": 2,  # programmed deployments (serve.registry);
+                         # v2: HAL array capability dict + scenario
+                         # parameters entered the key
+
 }
 
 

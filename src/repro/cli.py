@@ -29,6 +29,13 @@ workers follow the same policy.
 programming-cycle trials across worker processes (``0`` = one per
 core); results are bit-identical to a serial run at the same seed.
 
+``--array``/``--scenarios`` (on ``deploy``/``serve``/``experiment``)
+select the crossbar hardware-abstraction family (``repro.array``) and
+stack composable non-idealities on top of it (stuck-at faults,
+temperature coefficients, conductance drift, extra program noise).
+The default ``sim`` array with no scenarios is bit-identical to the
+pre-HAL pipeline.
+
 ``serve`` starts a long-lived inference server over a programmed
 deployment (see ``repro.serve``): requests are micro-batched through
 the vectorized backend with responses bitwise identical to serving
@@ -88,6 +95,18 @@ def _add_backend_arg(p: argparse.ArgumentParser) -> None:
                         "Every backend is numerically interchangeable")
 
 
+def _add_array_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--array", default=None, metavar="NAME",
+                   help="crossbar array family (e.g. sim); default: "
+                        "$REPRO_ARRAY or sim. The default family with no "
+                        "scenarios is bit-identical to the classic path")
+    p.add_argument("--scenarios", default=None, metavar="SPEC",
+                   help="non-ideality scenario stack, e.g. "
+                        "'stuck_at:sa0_rate=0.05,sa1_rate=0.01;"
+                        "drift:t_seconds=1e4' (semicolon-separated "
+                        "name:param=value scenarios, applied in order)")
+
+
 def _add_cache_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="artifact cache location (default: $REPRO_CACHE or "
@@ -128,6 +147,7 @@ def _add_deploy(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--saf", type=float, nargs=2, metavar=("SA0", "SA1"),
                    default=None, help="stuck-at fault rates")
     _add_jobs_arg(p)
+    _add_array_args(p)
     _add_cache_args(p)
     _add_backend_arg(p)
     _add_profile_args(p)
@@ -169,6 +189,7 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--deadline-ms", type=float, default=None,
                    help="default per-request deadline; expired requests "
                         "get a 504-style error (default: none)")
+    _add_array_args(p)
     _add_cache_args(p)
     _add_backend_arg(p)
     _add_profile_args(p)
@@ -178,10 +199,11 @@ def _add_experiment(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("experiment", help="run a named paper experiment")
     p.add_argument("--name", required=True,
                    choices=["fig5a", "fig5b", "fig5c", "table1", "table2",
-                            "table3"])
+                            "table3", "scenarios"])
     p.add_argument("--preset", default="quick", choices=["quick", "full"])
     p.add_argument("--trials", type=int, default=2)
     _add_jobs_arg(p)
+    _add_array_args(p)
     _add_cache_args(p)
     _add_backend_arg(p)
     _add_profile_args(p)
@@ -317,7 +339,8 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
     config = DeployConfig.from_method(
         args.method, sigma=args.sigma, granularity=args.granularity,
         cell=cell, pwt=_default_pwt(args.preset), bn_recalibrate=True,
-        saf_rates=tuple(args.saf) if args.saf else None)
+        saf_rates=tuple(args.saf) if args.saf else None,
+        array=args.array, scenarios=args.scenarios)
     deployer = Deployer(wl.model, wl.train, config, rng=args.seed + 10)
     ideal = ideal_accuracy(deployer, wl.test)
     result = evaluate_deployment(deployer, wl.test, n_trials=args.trials,
@@ -352,6 +375,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         sigma=args.sigma, granularity=args.granularity,
         cell_bits=args.cell_bits, seed=args.seed,
         saf_rates=tuple(args.saf) if args.saf else None,
+        array=args.array, scenarios=args.scenarios,
         max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
         queue_limit=args.queue_limit, deadline_ms=args.deadline_ms)
     service = InferenceService(config)
@@ -409,6 +433,14 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     elif args.name == "fig5c":
         rows = ex.run_fig5c(args.preset, n_trials=args.trials,
                             jobs=args.jobs)
+    elif args.name == "scenarios":
+        for s_row in ex.run_scenario_matrix(
+                preset=args.preset, n_trials=args.trials, jobs=args.jobs,
+                array=args.array, scenarios=args.scenarios):
+            _echo(f"{s_row.method:<10} scenario={s_row.scenario:<12} "
+                  f"acc {s_row.mean_accuracy:.2%} "
+                  f"(drop {s_row.accuracy_drop:+.2%} vs clean)")
+        return finish()
     elif args.name == "table1":
         for wl, per_m in ex.run_table1(args.preset).items():
             for m, v in per_m.items():
@@ -496,6 +528,12 @@ def _cmd_info(_args: argparse.Namespace) -> int:
     from repro.backend import available_backends, default_backend_name
     _echo(f"backends:      {', '.join(available_backends())} "
           f"(active: {default_backend_name()}; REPRO_BACKEND / --backend)")
+    from repro.array import available_arrays, default_array_name
+    from repro.array.scenarios import available_scenarios
+    _echo(f"arrays:        {', '.join(available_arrays())} "
+          f"(active: {default_array_name()}; REPRO_ARRAY / --array)")
+    _echo(f"scenarios:     {', '.join(available_scenarios())} "
+          "(--scenarios 'name:param=value;…' on deploy/serve)")
     return 0
 
 
@@ -525,6 +563,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Exported through the environment (not set_default_backend) so
         # --jobs worker processes inherit the same kernel set.
         os.environ["REPRO_BACKEND"] = backend
+    array = getattr(args, "array", None)
+    if array is not None:
+        from repro.array import available_arrays
+        if array not in available_arrays():
+            parser.error(f"unknown array {array!r} "
+                         f"(registered: {', '.join(available_arrays())})")
+        # Same env-export pattern as --backend: --jobs workers resolve
+        # the same HAL family when they build arrays themselves.
+        os.environ["REPRO_ARRAY"] = array
+    scenarios = getattr(args, "scenarios", None)
+    if scenarios is not None:
+        from repro.array.scenarios import parse_scenario_spec
+        try:
+            parse_scenario_spec(scenarios)
+        except ValueError as exc:
+            parser.error(f"bad --scenarios spec: {exc}")
     if getattr(args, "no_cache", False) and getattr(args, "cache_dir", None):
         parser.error("--no-cache and --cache-dir are mutually exclusive")
     if getattr(args, "no_cache", False):

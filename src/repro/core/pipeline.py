@@ -32,6 +32,10 @@ import numpy as np
 if TYPE_CHECKING:
     from repro.eval.accuracy import TrialResult
 
+from repro.array import ArrayBackend, default_array_name, get_array
+from repro.array.scenarios import (ScenarioArray, ScenarioSpec,
+                                   parse_scenario_spec,
+                                   scenario_key_components)
 from repro.backend import default_backend_name
 from repro.cache import (CacheStore, active_store, digest_array,
                          digest_arrays, stage_key)
@@ -55,7 +59,7 @@ from repro.obs.trace import span
 from repro.quant.bitslice import slice_weights
 from repro.quant.quantizer import AffineQuantizer, InputQuantizer
 from repro.utils.logging import get_logger
-from repro.utils.rng import RngLike, derive_seed, make_rng
+from repro.utils.rng import RngLike, derive_seed, make_rng, spawn_seeds
 
 logger = get_logger(__name__)
 
@@ -86,6 +90,14 @@ class DeployConfig:
     # their OFF/ON conductance. Faults are invisible to VAWO (a-priori)
     # but visible to PWT's read-back — matching real deployments.
     saf_rates: Optional[Tuple[float, float]] = None
+    # Which registered array family programs the crossbars (None =
+    # process default: --array / REPRO_ARRAY / "sim") and which
+    # non-ideality scenario stack wraps it — a spec string
+    # ("stuck_at:sa0_rate=0.05;drift:t_seconds=1e4"), a parsed
+    # Scenario sequence, or per-scenario dicts. Empty = bare array,
+    # which is bit-identical to the pre-HAL pipeline.
+    array: Optional[str] = None
+    scenarios: ScenarioSpec = None
     pwt: PWTConfig = field(default_factory=PWTConfig)
 
     METHODS = ("plain", "vawo", "vawo*", "pwt", "vawo*+pwt")
@@ -95,6 +107,9 @@ class DeployConfig:
             raise ValueError(f"unknown lut_source {self.lut_source!r}")
         if self.granularity < 1:
             raise ValueError("granularity must be positive")
+        # Normalise the scenario spec once so equal configs compare (and
+        # fingerprint) equal regardless of which spec form built them.
+        self.scenarios = parse_scenario_spec(self.scenarios)
 
     @classmethod
     def from_method(cls, method: str, **kwargs: Any) -> "DeployConfig":
@@ -236,6 +251,14 @@ class Deployer:
         self._lut_seed = (derive_seed(self._rng)
                           if config.lut_source == "monte_carlo" else None)
         self._grad_seed = derive_seed(self._rng) if config.use_vawo else None
+        # Scenario chip state gets its own stream — drawn only when a
+        # stack is configured, so scenario-free runs leave the parent
+        # stream (and every downstream draw) bit-identical to pre-HAL.
+        self._scenario_seed = (derive_seed(self._rng)
+                               if config.scenarios else None)
+        self.array_name = (config.array if config.array is not None
+                           else default_array_name())
+        get_array(self.array_name)       # unknown names fail at build time
         if config.saf_rates is not None:
             from repro.device.faults import FaultyDeviceModel
             sa0, sa1 = config.saf_rates
@@ -249,6 +272,7 @@ class Deployer:
         if config.use_vawo:
             self._estimate_gradients()
         self._assign_targets()
+        self.arrays: List[ArrayBackend] = self._build_arrays()
 
     # ------------------------------------------------------------------
     # preparation stages
@@ -484,11 +508,47 @@ class Deployer:
     # ------------------------------------------------------------------
     # programming / deployment
     # ------------------------------------------------------------------
-    def _build_deployed(self, cells_per_layer: List[np.ndarray]) -> Module:
+    def _build_arrays(self) -> List[ArrayBackend]:
+        """One array region per layer, built by the selected family.
+
+        The factory receives the deployer's programmer (the lognormal
+        device model, fault-wrapped when ``saf_rates`` is set) and the
+        layer's matrix shape; a configured scenario stack wraps every
+        region in a :class:`ScenarioArray` with its own persistent-state
+        stream (one ``SeedSequence`` child per layer).
+        """
+        factory = get_array(self.array_name)
+        arrays: List[ArrayBackend] = [
+            factory(self.programmer, prep.plan.rows, prep.plan.cols)
+            for prep in self.layers]
+        if self.config.scenarios:
+            seeds = spawn_seeds(self._scenario_seed, len(arrays))
+            arrays = [ScenarioArray(inner, self.config.scenarios, seed)
+                      for inner, seed in zip(arrays, seeds)]
+        return arrays
+
+    def array_key_components(self) -> Dict[str, Any]:
+        """The array/scenario identity that shapes programmed state.
+
+        The declared capability dict of the (representative) first
+        layer's array — all layers share one family and stack — plus
+        the full scenario parameters; folded into ``serve_program``
+        content-addressed keys. Flat scalars and nested dicts only.
+        """
+        return {
+            "array": self.array_name,
+            "array_components": dict(self.arrays[0].key_components()),
+            "scenarios": scenario_key_components(self.config.scenarios),
+        }
+
+    def _build_deployed(self, cells_per_layer: List[np.ndarray],
+                        arrays: Optional[List[ArrayBackend]] = None,
+                        ) -> Module:
         deployed = copy.deepcopy(self.model)
-        for prep, cells in zip(self.layers, cells_per_layer):
+        for i, (prep, cells) in enumerate(zip(self.layers, cells_per_layer)):
             common = dict(
                 cells=cells, plan=prep.plan,
+                array=None if arrays is None else arrays[i],
                 registers=prep.assignment.registers.astype(np.float64),
                 complement=prep.assignment.complement,
                 cell=self.config.cell, weight_bits=self.config.weight_bits,
@@ -517,9 +577,9 @@ class Deployer:
         """
         rng = make_rng(rng if rng is not None else derive_seed(self._rng))
         with span("deploy.program", layers=len(self.layers)):
-            cells = [self.programmer.program_cells(prep.assignment.ctw, rng)
-                     for prep in self.layers]
-            deployed = self._build_deployed(cells)
+            cells = [array.program(prep.assignment.ctw, rng)
+                     for prep, array in zip(self.layers, self.arrays)]
+            deployed = self._build_deployed(cells, self.arrays)
         obs_metrics.inc("deploy.programming_cycles")
         if self.config.bn_recalibrate:
             with span("deploy.bn_recalibrate"):

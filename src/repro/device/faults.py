@@ -39,6 +39,12 @@ class FaultMap:
         if (self.stuck_at_0 & self.stuck_at_1).any():
             raise ValueError("a cell cannot be stuck at both levels")
 
+    @classmethod
+    def empty(cls, shape: Tuple[int, ...]) -> "FaultMap":
+        """A fault-free map covering a cell array of ``shape``."""
+        return cls(stuck_at_0=np.zeros(shape, dtype=bool),
+                   stuck_at_1=np.zeros(shape, dtype=bool))
+
     @property
     def shape(self) -> Tuple[int, ...]:
         """The cell-array shape both fault masks cover."""

@@ -24,6 +24,24 @@ import numpy as np
 from repro.utils.rng import RngLike, make_rng
 
 
+def sample_temperature_coefficients(shape: Tuple[int, ...], mean: float,
+                                    std: float,
+                                    rng: RngLike = None) -> np.ndarray:
+    """Draw persistent per-cell temperature coefficients (arXiv 2105.05534).
+
+    Each device's conductance responds linearly to temperature,
+    ``G(T) = G0 * (1 + alpha * (T - T_ref))``, with a device-to-device
+    spread in ``alpha ~ N(mean, std)`` fixed at fabrication. Returns an
+    array of the requested ``shape`` (one coefficient per cell).
+    """
+    if std < 0:
+        raise ValueError(f"std must be non-negative, got {std}")
+    rng = make_rng(rng)
+    if std == 0:
+        return np.full(shape, float(mean))
+    return rng.normal(mean, std, size=shape)
+
+
 @dataclass
 class VariationModel:
     """Lognormal conductance variation with a DDV/CCV variance split.

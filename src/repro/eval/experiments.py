@@ -294,6 +294,84 @@ def run_fig5c(preset: str = "quick",
 
 
 # ----------------------------------------------------------------------
+# scenario matrix: technique x non-ideality stack (repro.array.scenarios)
+# ----------------------------------------------------------------------
+@dataclass
+class ScenarioRow:
+    """One technique x scenario-stack point of the robustness matrix."""
+
+    workload: str
+    method: str
+    scenario: str                   # human label ("none" = bare array)
+    spec: Optional[str]             # the parsed spec string, None = empty
+    sigma: float
+    mean_accuracy: float
+    std_accuracy: float
+    clean_accuracy: float           # same method, empty scenario stack
+
+    @property
+    def accuracy_drop(self) -> float:
+        return self.mean_accuracy - self.clean_accuracy
+
+
+#: Default scenario axis of :func:`run_scenario_matrix` — label → spec.
+#: ``None`` is the control column: the bare array, bit-identical to the
+#: classic pipeline, against which every stack's drop is measured.
+DEFAULT_SCENARIOS: Dict[str, Optional[str]] = {
+    "none": None,
+    "stuck_at": "stuck_at:sa0_rate=0.05,sa1_rate=0.01",
+    "temperature": "temperature:temperature=360.0",
+    "drift": "drift:t_seconds=1e5",
+}
+
+
+def run_scenario_matrix(workload_name: str = "lenet",
+                        preset: str = "quick",
+                        methods: Sequence[str] = ("plain", "vawo*+pwt"),
+                        scenario_axis: Optional[Dict[str, Optional[str]]] = None,
+                        scenarios: Optional[str] = None,
+                        array: Optional[str] = None,
+                        sigma: float = 0.5, n_trials: int = 2, seed: int = 0,
+                        jobs: Optional[int] = 1) -> List[ScenarioRow]:
+    """Technique x scenario robustness grid over the HAL scenario engine.
+
+    Every (method, stack) cell programs through
+    :class:`repro.array.scenarios.ScenarioArray` and evaluates
+    ``n_trials`` programming cycles with the parallel executor
+    (``jobs`` shards them; bit-identical to serial). ``scenarios``
+    replaces the default axis with one caller-provided stack (plus the
+    "none" control); ``array`` pins the HAL family for every cell.
+    """
+    axis = dict(scenario_axis) if scenario_axis is not None \
+        else dict(DEFAULT_SCENARIOS)
+    if scenarios is not None:
+        axis = {"none": None, "custom": scenarios}
+    if "none" not in axis:
+        axis = {"none": None, **axis}
+    wl = build_workload(workload_name, preset, seed)
+    rows: List[ScenarioRow] = []
+    for method in methods:
+        clean: Optional[float] = None
+        for label, spec in axis.items():
+            cfg = DeployConfig.from_method(
+                method, sigma=sigma, cell=SLC, granularity=16,
+                pwt=_default_pwt(preset), bn_recalibrate=True,
+                array=array, scenarios=spec)
+            deployer = Deployer(wl.model, wl.train, cfg, rng=seed + 10)
+            result = evaluate_deployment(deployer, wl.test,
+                                         n_trials=n_trials, rng=seed + 20,
+                                         jobs=jobs)
+            if clean is None:       # "none" is always first in the axis
+                clean = result.mean
+            rows.append(ScenarioRow(
+                workload=workload_name, method=method, scenario=label,
+                spec=spec, sigma=sigma, mean_accuracy=result.mean,
+                std_accuracy=result.std, clean_accuracy=clean))
+            logger.info("scenario %s %s: %.4f", method, label, result.mean)
+    return rows
+
+
+# ----------------------------------------------------------------------
 # Table I: relative reading power
 # ----------------------------------------------------------------------
 def run_table1(preset: str = "quick",

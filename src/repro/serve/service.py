@@ -53,15 +53,24 @@ class ServeConfig:
     cell_bits: int = 1
     seed: int = 0
     saf_rates: Optional[Tuple[float, float]] = None
+    # HAL selection: registered array family (None = REPRO_ARRAY /
+    # "sim") and the scenario-stack spec string (None = bare array).
+    array: Optional[str] = None
+    scenarios: Optional[str] = None
     max_batch: int = 8
     max_wait_ms: float = 2.0
     queue_limit: int = 64
     deadline_ms: Optional[float] = None
 
     def describe(self) -> str:
+        extras = ""
+        if self.array is not None:
+            extras += f" array={self.array}"
+        if self.scenarios:
+            extras += f" scenarios={self.scenarios}"
         return (f"{self.workload}/{self.preset} method={self.method} "
                 f"sigma={self.sigma} m={self.granularity} "
-                f"cell={self.cell_bits}-bit seed={self.seed}")
+                f"cell={self.cell_bits}-bit seed={self.seed}{extras}")
 
 
 @dataclass
@@ -112,7 +121,8 @@ class InferenceService:
         deploy_cfg = DeployConfig.from_method(
             cfg.method, sigma=cfg.sigma, granularity=cfg.granularity,
             cell=cell, pwt=_default_pwt(cfg.preset), bn_recalibrate=True,
-            saf_rates=cfg.saf_rates)
+            saf_rates=cfg.saf_rates, array=cfg.array,
+            scenarios=cfg.scenarios)
         deployer_seed = cfg.seed + 10
         deployer = Deployer(wl.model, wl.train, deploy_cfg,
                             rng=deployer_seed)

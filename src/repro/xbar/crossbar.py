@@ -68,8 +68,18 @@ class Crossbar:
         if x.shape[-1] != self.rows:
             raise ValueError(f"drive vector needs {self.rows} entries")
         if active_rows is not None:
-            mask = np.zeros(self.rows, dtype=bool)
-            mask[active_rows] = True
+            active_rows = np.asarray(active_rows)
+            if active_rows.dtype == bool:
+                # Already a mask — use it directly (hot path: no
+                # zeros() allocation + fancy-index round trip).
+                if active_rows.shape != (self.rows,):
+                    raise ValueError(
+                        f"boolean row mask must have shape {(self.rows,)}, "
+                        f"got {active_rows.shape}")
+                mask = active_rows
+            else:
+                mask = np.zeros(self.rows, dtype=bool)
+                mask[active_rows] = True
             x = x * mask
         return x @ self._g
 

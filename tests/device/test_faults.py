@@ -3,11 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.device.cell import MLC2, SLC
+from repro.device.cell import MLC2, SLC, CellType
 from repro.device.faults import (FaultMap, FaultyDeviceModel,
                                  sample_fault_map)
 from repro.device.lut import DeviceModel
 from repro.device.variation import VariationModel
+from repro.utils.rng import make_rng
 
 
 class TestFaultMap:
@@ -53,6 +54,39 @@ class TestFaultMap:
         g = np.array([0.9])
         fm.apply(g, SLC)
         assert g[0] == 0.9
+
+    @pytest.mark.parametrize("cell", [SLC, MLC2,
+                                      CellType(bits=3, on_off_ratio=50.0)],
+                             ids=["slc", "mlc2", "mlc3-r50"])
+    def test_apply_pins_to_cell_extremes(self, cell):
+        """Pinned levels follow each cell technology's own G_off/G_on."""
+        fm = FaultMap(stuck_at_0=np.array([[True, False]]),
+                      stuck_at_1=np.array([[False, True]]))
+        mid = cell.conductance(np.full((1, 2), cell.max_level // 2 + 1))
+        out = fm.apply(mid, cell)
+        g_off = cell.conductance(np.zeros(1))[0]
+        g_on = cell.conductance(np.array([cell.max_level]))[0]
+        assert out[0, 0] == g_off
+        assert out[0, 1] == g_on == pytest.approx(cell.max_level)
+        assert g_off == pytest.approx(cell.max_level / cell.on_off_ratio)
+
+    @pytest.mark.parametrize("cell", [SLC, MLC2], ids=["slc", "mlc2"])
+    def test_apply_3d_cell_image(self, cell):
+        """Fault maps cover (rows, cols, n_cells) images, any cell type."""
+        fm = sample_fault_map((4, 3, 2), 0.3, 0.2, rng=0)
+        g = np.full((4, 3, 2), 0.4)
+        out = fm.apply(g, cell)
+        g_on = cell.conductance(np.array([cell.max_level]))[0]
+        np.testing.assert_array_equal(out[fm.stuck_at_1], g_on)
+        healthy = ~(fm.stuck_at_0 | fm.stuck_at_1)
+        np.testing.assert_array_equal(out[healthy], 0.4)
+
+    def test_empty_map(self):
+        fm = FaultMap.empty((3, 4))
+        assert fm.shape == (3, 4)
+        assert fm.fault_rate == 0.0
+        g = make_rng(0).uniform(size=(3, 4))
+        np.testing.assert_array_equal(fm.apply(g, SLC), g)
 
 
 class TestFaultyDeviceModel:

@@ -40,6 +40,26 @@ class TestCrossbar:
         with pytest.raises(ValueError):
             Crossbar(4, 4).write_region(np.ones((3, 3)), row0=2, col0=2)
 
+    def test_write_region_negative_origin(self):
+        xb = Crossbar(4, 4)
+        with pytest.raises(ValueError, match="does not fit"):
+            xb.write_region(np.ones((2, 2)), row0=-1, col0=0)
+        with pytest.raises(ValueError, match="does not fit"):
+            xb.write_region(np.ones((2, 2)), row0=0, col0=-2)
+
+    def test_write_region_oversized(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            Crossbar(4, 4).write_region(np.ones((5, 2)))
+        with pytest.raises(ValueError, match="does not fit"):
+            Crossbar(4, 4).write_region(np.ones((2, 5)))
+
+    def test_write_region_negative_conductance(self):
+        xb = Crossbar(4, 4)
+        with pytest.raises(ValueError, match="non-negative"):
+            xb.write_region(-np.ones((2, 2)), row0=1, col0=1)
+        # a rejected write leaves the array untouched
+        np.testing.assert_array_equal(xb.conductances, np.zeros((4, 4)))
+
     def test_active_rows_mask(self, rng):
         xb = Crossbar(6, 2)
         g = rng.uniform(size=(6, 2))
@@ -47,6 +67,35 @@ class TestCrossbar:
         x = np.ones(6)
         out = xb.vmm(x, active_rows=np.array([0, 1]))
         np.testing.assert_allclose(out, g[:2].sum(axis=0))
+
+    def test_boolean_mask_matches_index_form(self, rng):
+        """The boolean fast path equals the fancy-index path bitwise."""
+        xb = Crossbar(6, 3)
+        xb.write(rng.uniform(size=(6, 3)))
+        x = rng.uniform(size=(4, 6))
+        indices = np.array([0, 2, 5])
+        mask = np.zeros(6, dtype=bool)
+        mask[indices] = True
+        np.testing.assert_array_equal(xb.vmm(x, active_rows=mask),
+                                      xb.vmm(x, active_rows=indices))
+
+    def test_boolean_mask_all_false_and_all_true(self, rng):
+        xb = Crossbar(5, 2)
+        g = rng.uniform(size=(5, 2))
+        xb.write(g)
+        x = rng.uniform(size=5)
+        np.testing.assert_array_equal(
+            xb.vmm(x, active_rows=np.zeros(5, dtype=bool)), np.zeros(2))
+        np.testing.assert_allclose(
+            xb.vmm(x, active_rows=np.ones(5, dtype=bool)), xb.vmm(x))
+
+    def test_boolean_mask_wrong_shape(self):
+        xb = Crossbar(5, 2)
+        xb.write(np.ones((5, 2)))
+        with pytest.raises(ValueError, match="boolean row mask"):
+            xb.vmm(np.ones(5), active_rows=np.ones(4, dtype=bool))
+        with pytest.raises(ValueError, match="boolean row mask"):
+            xb.vmm(np.ones(5), active_rows=np.ones((5, 1), dtype=bool))
 
     def test_vmm_grouped_sums_to_full(self, rng):
         """Partial group currents must sum to the full VMM result."""
