@@ -105,7 +105,7 @@ def _resolve(name: str) -> KernelBackend:
             raise ValueError(
                 f"unknown compute backend {name!r} — registered backends: "
                 f"{known} (select via {ENV_VAR} or --backend)")
-        instance = _INSTANCES[name] = factory()
+        instance = _INSTANCES[name] = factory()  # fork-ok — per-process instance cache; backends are stateless
         return instance
 
 
@@ -133,12 +133,14 @@ def use_backend(name: str) -> Iterator[KernelBackend]:
 
 
 def _register_builtins() -> None:
-    """Register the two kernel sets that ship with the library."""
+    """Register the kernel sets that ship with the library."""
+    from repro.backend.accel import AccelBackend
     from repro.backend.reference import ReferenceBackend
     from repro.backend.vectorized import VectorizedBackend
 
     register_backend(ReferenceBackend.name, ReferenceBackend, replace=True)
     register_backend(VectorizedBackend.name, VectorizedBackend, replace=True)
+    register_backend(AccelBackend.name, AccelBackend, replace=True)
 
 
 _register_builtins()

@@ -1,0 +1,327 @@
+"""The accelerated kernel set — bit-plane-packed BLAS reformulation.
+
+Same arithmetic as :mod:`repro.backend.vectorized` (whose window
+kernels it inherits unchanged), with the bit-serial crossbar VMM
+restructured into a small number of large GEMMs:
+
+* with an **ideal ADC** every term of the integer-domain output is
+  linear in the quantized inputs, so the analog contraction, the Eq. 7
+  offset add, the complement post-processing and the ISAAC zero-point
+  correction all fold into *one* packed matrix
+  (:attr:`EngineOperands.packed_ideal_weights`) — the whole forward is
+  a single ``xq @ P`` BLAS call;
+* with a **finite ADC** the conversion is nonlinear per
+  (input bit, offset group) current, so the bit planes cannot
+  telescope — instead all ``input_bits`` planes are stacked into one
+  batched matmul ``(k, bits*N, m) @ (k, m, cols*cells)`` against the
+  cached :attr:`EngineOperands.cells_packed`, converted through the ADC
+  once, then collapsed by two cheap contractions (bit weights, cell
+  significances). Batches are chunked so the stacked intermediate stays
+  within a fixed byte budget.
+
+On top of the always-available pure-NumPy path ("blas" tier) the
+backend can route the packed kernels through an optional offload
+library when one is importable — selected by the ``REPRO_ACCEL``
+environment variable:
+
+* ``auto`` (default) — numba if importable, else torch, else the BLAS
+  path; the fallback is silent.
+* ``numba`` / ``torch`` — request a tier explicitly; if the library is
+  missing the backend falls back to BLAS with a *single* warning.
+* ``blas`` — force the pure-NumPy path.
+
+Neither library is ever a hard dependency: all imports are lazy and
+failure-gated. Numerical interchangeability with ``reference`` is
+asserted by the shared equivalence suite in ``tests/backend/`` for
+every tier importable in the environment.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import threading
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.backend.base import EngineOperands
+from repro.backend.vectorized import VectorizedBackend
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+#: Environment variable selecting the offload tier.
+ENV_VAR = "REPRO_ACCEL"
+
+#: Recognised ``REPRO_ACCEL`` values.
+OFFLOAD_TIERS = ("auto", "blas", "numba", "torch")
+
+#: Byte budget for the stacked finite-ADC intermediates; batches are
+#: chunked so ``k * bits * chunk * cols * cells`` float64 currents (and
+#: the matching drive planes) stay under it.
+PACKED_BYTES_LIMIT = 64 * 1024 * 1024
+
+_TIER_LOCK = threading.Lock()
+_RESOLVED: Dict[str, str] = {}
+_NUMBA_VMM: Optional[Callable[..., np.ndarray]] = None
+
+
+def _importable(module: str) -> bool:
+    """Whether ``module`` imports cleanly in this environment."""
+    try:
+        importlib.import_module(module)
+        return True
+    except Exception:  # noqa: BLE001 — any import failure means "absent"
+        return False
+
+
+def requested_offload_tier() -> str:
+    """The tier named by ``REPRO_ACCEL`` (default ``auto``); unknown
+    values raise ``ValueError`` listing what is recognised."""
+    value = os.environ.get(ENV_VAR, "").strip().lower() or "auto"
+    if value not in OFFLOAD_TIERS:
+        known = ", ".join(OFFLOAD_TIERS)
+        raise ValueError(
+            f"unknown {ENV_VAR} offload tier {value!r} — recognised "
+            f"tiers: {known}")
+    return value
+
+
+def resolve_offload_tier(requested: Optional[str] = None) -> str:
+    """The tier the accel backend actually runs: ``blas``, ``numba`` or
+    ``torch``.
+
+    ``auto`` probes numba then torch and silently settles on the BLAS
+    path when neither imports. An explicitly requested tier that is not
+    importable falls back to ``blas`` and logs a single warning for the
+    lifetime of the process (resolution is cached per requested value —
+    no per-call spam).
+    """
+    requested = requested if requested is not None else requested_offload_tier()
+    with _TIER_LOCK:
+        resolved = _RESOLVED.get(requested)
+        if resolved is not None:
+            return resolved
+        if requested == "blas":
+            resolved = "blas"
+        elif requested == "auto":
+            if _importable("numba"):
+                resolved = "numba"
+            elif _importable("torch"):
+                resolved = "torch"
+            else:
+                resolved = "blas"
+        elif _importable(requested):
+            resolved = requested
+        else:
+            logger.warning(
+                "%s=%s requested but %s is not importable — falling back "
+                "to the pure-NumPy BLAS path", ENV_VAR, requested, requested)
+            resolved = "blas"
+        _RESOLVED[requested] = resolved
+        return resolved
+
+
+def reset_offload_cache() -> None:
+    """Forget cached tier resolutions (tests re-probe after changing
+    ``REPRO_ACCEL`` or the import environment)."""
+    with _TIER_LOCK:
+        _RESOLVED.clear()
+
+
+# ----------------------------------------------------------------------
+# finite-ADC packed path — pure NumPy (the always-available BLAS tier)
+# ----------------------------------------------------------------------
+def _finite_chunk_rows(op: EngineOperands) -> int:
+    """Samples per chunk keeping the stacked (k, bits*N, cols*cells)
+    currents and (k, bits*N, m) drive planes under the byte budget."""
+    per_sample = (8 * op.input_bits * op.n_groups
+                  * (op.granularity + op.cols * op.n_cells))
+    return max(1, PACKED_BYTES_LIMIT // per_sample)
+
+
+def _finite_vmm_blas(xq: np.ndarray, op: EngineOperands) -> np.ndarray:
+    """Finite-ADC analog term via the stacked bit-plane batched matmul:
+    quantized inputs (N, rows) -> signed analog outputs (N, cols),
+    before the digital offset / zero-point terms."""
+    n = xq.shape[0]
+    k, c, s = op.n_groups, op.cols, op.n_cells
+    bits = op.input_bits
+    cells = op.cells_packed                                 # (k, m, c*s)
+    z = np.empty((n, c), dtype=np.float64)
+    chunk = _finite_chunk_rows(op)
+    for lo in range(0, n, chunk):
+        xq_c = xq[lo:lo + chunk]
+        nn = xq_c.shape[0]
+        drive = op.grouped_bit_planes(xq_c)                 # (k, bits*nn, m)
+        currents = np.matmul(drive, cells)                  # (k, bits*nn, c*s)
+        converted = op.adc.convert(currents)
+        weighted = np.einsum(
+            "b,kbnx->knx", op.bit_weights,
+            converted.reshape(k, bits, nn, c * s), optimize=True)
+        folded = weighted.reshape(k, nn, c, s) @ op.significance
+        z[lo:lo + nn] = np.einsum("knc,kc->nc", folded, op.sign,
+                                  optimize=True)
+    return z
+
+
+def _digital_terms(xqf: np.ndarray, z: np.ndarray,
+                   op: EngineOperands) -> np.ndarray:
+    """Add the Eq. 7 offset/complement GEMM and the ISAAC zero-point
+    correction to the analog term ``z`` (N, cols)."""
+    z = z + op.group_input_sums(xqf) @ op.offset_gain
+    return z - op.weight_zero_point * xqf.sum(axis=1, keepdims=True)
+
+
+# ----------------------------------------------------------------------
+# optional offload tiers (lazy, failure-gated imports)
+# ----------------------------------------------------------------------
+def _build_numba_vmm() -> Callable[..., np.ndarray]:
+    """Compile the fused finite-ADC VMM kernel with numba.
+
+    Mirrors the packed math loop-wise (per sample / bit / group) so no
+    large intermediate is ever materialised; ``fastmath`` stays off to
+    preserve IEEE summation order within each accumulation.
+    """
+    import numba
+
+    @numba.njit(parallel=True, cache=False)
+    def finite_vmm(xq: np.ndarray, cells: np.ndarray,
+                   significance: np.ndarray, sign: np.ndarray,
+                   granularity: int, input_bits: int, step: float,
+                   full_scale: float) -> np.ndarray:
+        n, rows = xq.shape
+        n_groups, _, cols, n_cells = cells.shape
+        z = np.zeros((n, cols), dtype=np.float64)
+        for i in numba.prange(n):
+            for g in range(n_groups):
+                r0 = g * granularity
+                span = min(granularity, rows - r0)
+                for col in range(cols):
+                    acc = 0.0
+                    for bit in range(input_bits):
+                        weight = float(1 << bit)
+                        for cell in range(n_cells):
+                            current = 0.0
+                            for r in range(span):
+                                if (xq[i, r0 + r] >> bit) & 1:
+                                    current += cells[g, r, col, cell]
+                            if current < 0.0:
+                                current = 0.0
+                            elif current > full_scale:
+                                current = full_scale
+                            converted = np.round(current / step) * step
+                            acc += weight * significance[cell] * converted
+                    z[i, col] += sign[g, col] * acc
+        return z
+
+    return finite_vmm
+
+
+def _numba_finite_vmm(xq: np.ndarray, op: EngineOperands) -> np.ndarray:
+    """Finite-ADC analog term through the cached numba kernel."""
+    global _NUMBA_VMM
+    with _TIER_LOCK:
+        if _NUMBA_VMM is None:
+            _NUMBA_VMM = _build_numba_vmm()
+        kernel = _NUMBA_VMM
+    return kernel(np.ascontiguousarray(xq, dtype=np.int64),
+                  op.cells_grouped, op.significance, op.sign,
+                  op.granularity, op.input_bits, float(op.adc.step),
+                  float(op.adc.full_scale))
+
+
+def _torch_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a @ b`` through torch (zero-copy in both directions on CPU)."""
+    import torch
+
+    return torch.matmul(torch.from_numpy(a), torch.from_numpy(b)).numpy()
+
+
+def _torch_finite_vmm(xq: np.ndarray, op: EngineOperands) -> np.ndarray:
+    """Finite-ADC analog term with the packed matmuls and the ADC
+    transfer evaluated in torch (CPU tensors; rounding matches numpy's
+    round-half-to-even)."""
+    import torch
+
+    n = xq.shape[0]
+    k, c, s = op.n_groups, op.cols, op.n_cells
+    bits = op.input_bits
+    cells = torch.from_numpy(op.cells_packed)
+    sig = torch.from_numpy(op.significance)
+    sign = torch.from_numpy(op.sign)
+    bit_w = torch.from_numpy(op.bit_weights)
+    z = np.empty((n, c), dtype=np.float64)
+    chunk = _finite_chunk_rows(op)
+    for lo in range(0, n, chunk):
+        xq_c = xq[lo:lo + chunk]
+        nn = xq_c.shape[0]
+        drive = torch.from_numpy(op.grouped_bit_planes(xq_c))
+        currents = torch.matmul(drive, cells)
+        converted = torch.round(
+            torch.clamp(currents, 0.0, float(op.adc.full_scale))
+            / float(op.adc.step)) * float(op.adc.step)
+        weighted = torch.einsum(
+            "b,kbnx->knx", bit_w, converted.reshape(k, bits, nn, c * s))
+        folded = torch.matmul(weighted.reshape(k, nn, c, s), sig)
+        z[lo:lo + nn] = torch.einsum("knc,kc->nc", folded, sign).numpy()
+    return z
+
+
+class AccelBackend(VectorizedBackend):
+    """Bit-plane-packed BLAS kernels with optional numba/torch offload.
+
+    Window kernels (im2col / col2im / pooling) are inherited from
+    :class:`VectorizedBackend` unchanged — bitwise-identical outputs —
+    so the two backends share a :attr:`cache_tag` and programmed
+    serve artifacts warm-start across them.
+    """
+
+    name = "accel"
+    # Bitwise-identical on the deployed fast-float path (inherited
+    # window kernels), so accel shares vectorized's programmed
+    # artifacts in content-addressed caches.
+    cache_tag = "vectorized"
+
+    def offload_tier(self) -> str:
+        """The resolved offload tier for this process:
+        ``blas``/``numba``/``torch``."""
+        return resolve_offload_tier()
+
+    def status(self) -> str:
+        """Availability note including the active offload tier."""
+        tier = self.offload_tier()
+        if tier == "blas":
+            return "available (BLAS fallback)"
+        return f"available ({tier} offload active)"
+
+    def _engine_vmm(self, xq: np.ndarray, op: EngineOperands) -> np.ndarray:
+        """Packed crossbar VMM: quantized inputs (N, rows) ->
+        integer-domain outputs (N, cols).
+
+        Ideal ADC: one GEMM against the cached packed matrix (analog +
+        offset + complement + zero-point all folded in). Finite ADC:
+        the stacked bit-plane batched matmul (or the offload tier's
+        fused equivalent) followed by the digital terms.
+        """
+        tier = resolve_offload_tier()
+        xqf = xq.astype(np.float64)
+        if op.adc.ideal:
+            if tier == "torch":
+                return _torch_matmul(xqf, op.packed_ideal_weights)
+            return xqf @ op.packed_ideal_weights
+        if tier == "numba":
+            z = _numba_finite_vmm(xq, op)
+        elif tier == "torch":
+            z = _torch_finite_vmm(xq, op)
+        else:
+            z = _finite_vmm_blas(xq, op)
+        return _digital_terms(xqf, z, op)
+
+
+__all__ = [
+    "ENV_VAR", "OFFLOAD_TIERS", "PACKED_BYTES_LIMIT", "AccelBackend",
+    "requested_offload_tier", "reset_offload_cache",
+    "resolve_offload_tier",
+]

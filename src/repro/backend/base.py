@@ -14,7 +14,9 @@ Two implementations ship with the library:
 * ``reference`` (:mod:`repro.backend.reference`) — the original
   loop-based kernels, kept verbatim as the correctness oracle;
 * ``vectorized`` (:mod:`repro.backend.vectorized`) — the default:
-  strided-view windows and a batched bit-serial VMM.
+  strided-view windows and a batched bit-serial VMM;
+* ``accel`` (:mod:`repro.backend.accel`) — the bit-plane-packed BLAS
+  reformulation of the VMM, with optional numba/torch offload tiers.
 
 Every backend must be *numerically interchangeable* with ``reference``
 up to float rounding; the guarantee is asserted by the shared
@@ -75,6 +77,10 @@ class EngineOperands:
         self._sign: Optional[np.ndarray] = None
         self._signed_crw_grouped: Optional[np.ndarray] = None
         self._offset_gain: Optional[np.ndarray] = None
+        self._offset_gain_rows: Optional[np.ndarray] = None
+        self._packed_ideal_weights: Optional[np.ndarray] = None
+        self._cells_packed: Optional[np.ndarray] = None
+        self._bit_weights: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # cached derived views
@@ -151,6 +157,98 @@ class EngineOperands:
                                  + self.complement * float(self.weight_qmax))
         return self._offset_gain
 
+    @property
+    def offset_gain_rows(self) -> np.ndarray:
+        """:attr:`offset_gain` expanded from groups to rows, shape
+        (rows, cols): ``offset_gain_rows[r] = offset_gain[r // m]``.
+
+        Because every row of group ``g`` contributes its input once to
+        the group sum ``gx_g``, the per-group digital term
+        ``gx @ offset_gain`` equals the per-row GEMM
+        ``x @ offset_gain_rows`` — which lets the accel backend fold the
+        offset add into the packed weight matrix.
+        """
+        if self._offset_gain_rows is None:
+            expanded = np.repeat(self.offset_gain, self.granularity, axis=0)
+            self._offset_gain_rows = expanded[:self.rows]
+        return self._offset_gain_rows
+
+    @property
+    def packed_ideal_weights(self) -> np.ndarray:
+        """The single packed GEMM operand of the ideal-ADC forward,
+        shape (rows, cols).
+
+        With an ideal ADC the bit-serial sum telescopes
+        (``sum_b 2^b x_bit = x``) and every remaining term of the
+        integer-domain output is linear in the quantized inputs, so the
+        analog contraction, the Eq. 7 offset add, the complement
+        post-processing and the ISAAC zero-point correction all fold
+        into one matrix::
+
+            P = sign_rows * CRW + offset_gain_rows - weight_zero_point
+            z = xq @ P
+
+        (``sign_rows`` expands the per-group complement sign to rows the
+        same way :attr:`offset_gain_rows` expands the gain.) See
+        DESIGN.md's bit-plane packing section for the derivation.
+        """
+        if self._packed_ideal_weights is None:
+            flat_signed = self.signed_crw_grouped.reshape(
+                self.padded_rows, self.cols)[:self.rows]
+            self._packed_ideal_weights = np.ascontiguousarray(
+                flat_signed + self.offset_gain_rows
+                - float(self.weight_zero_point))
+        return self._packed_ideal_weights
+
+    @property
+    def cells_packed(self) -> np.ndarray:
+        """:attr:`cells_grouped` with the column and cell axes merged
+        into one GEMM output axis: shape (n_groups, granularity,
+        cols * n_cells), contiguous.
+
+        The batched-matmul operand of the accel backend's finite-ADC
+        path: ``(k, bits*N, m) @ (k, m, cols*n_cells)`` produces every
+        per-(bit, group, column, cell) current in one BLAS call.
+        """
+        if self._cells_packed is None:
+            self._cells_packed = np.ascontiguousarray(
+                self.cells_grouped.reshape(
+                    self.n_groups, self.granularity,
+                    self.cols * self.n_cells))
+        return self._cells_packed
+
+    @property
+    def bit_weights(self) -> np.ndarray:
+        """Shift-and-add bit significances ``2**b``, shape
+        (input_bits,)."""
+        if self._bit_weights is None:
+            self._bit_weights = np.ldexp(
+                1.0, np.arange(self.input_bits)).astype(np.float64)
+        return self._bit_weights
+
+    def grouped_bit_planes(self, xq: np.ndarray) -> np.ndarray:
+        """All bit planes of a quantized batch, stacked and regrouped
+        for one batched matmul: (N, rows) int inputs ->
+        (n_groups, input_bits * N, granularity) float drive matrix.
+
+        Plane ``b`` of sample ``n`` lands at stacked row ``b * N + n``,
+        so the product against :attr:`cells_packed` reshapes back to
+        (n_groups, input_bits, N, cols * n_cells) with a plain
+        ``reshape``.
+        """
+        n = xq.shape[0]
+        shifts = np.arange(self.input_bits, dtype=xq.dtype)
+        planes = ((xq[None, :, :] >> shifts[:, None, None]) & 1)
+        padded = np.pad(planes.astype(np.float64),
+                        ((0, 0), (0, 0), (0, self.padded_rows - self.rows)))
+        grouped = padded.reshape(self.input_bits, n, self.n_groups,
+                                 self.granularity)
+        stacked = grouped.transpose(2, 0, 1, 3)
+        # reshape of the transposed view materialises the copy, giving
+        # the contiguous (k, bits*N, m) operand BLAS wants.
+        return stacked.reshape(self.n_groups, self.input_bits * n,
+                               self.granularity)
+
     def grouped_inputs(self, x: np.ndarray) -> np.ndarray:
         """Reshape a per-row batch (N, rows) into offset groups
         (N, n_groups, granularity), zero-padding the partial last group."""
@@ -176,6 +274,20 @@ class KernelBackend(abc.ABC):
 
     #: Registry name; subclasses override.
     name: str = "abstract"
+
+    #: Numeric-equivalence class folded into content-addressed cache
+    #: keys (e.g. the serve_program registry) in place of the backend
+    #: name. Backends that produce bitwise-identical results on the
+    #: deployed fast-float path share a tag, so switching between them
+    #: warm-starts the same programmed artifacts instead of
+    #: re-deploying. Defaults to the backend name (no sharing);
+    #: ``accel`` shares ``vectorized``'s tag.
+    cache_tag: str = "abstract"
+
+    def status(self) -> str:
+        """A one-line availability note for ``repro backends``; kernel
+        sets with optional offload tiers override this."""
+        return "available"
 
     # ------------------------------------------------------------------
     # convolution / pooling window kernels

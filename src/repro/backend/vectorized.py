@@ -55,6 +55,7 @@ class VectorizedBackend(KernelBackend):
     """Strided-view windows and batched bit-serial VMM kernels."""
 
     name = "vectorized"
+    cache_tag = "vectorized"
 
     # ------------------------------------------------------------------
     # im2col / col2im / pooling windows

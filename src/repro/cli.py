@@ -90,9 +90,10 @@ def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
 
 def _add_backend_arg(p: argparse.ArgumentParser) -> None:
     p.add_argument("--backend", default=None, metavar="NAME",
-                   help="compute backend for all kernels (e.g. vectorized, "
-                        "reference); default: $REPRO_BACKEND or vectorized. "
-                        "Every backend is numerically interchangeable")
+                   help="compute backend for all kernels (vectorized, accel, "
+                        "reference; see 'repro backends'); default: "
+                        "$REPRO_BACKEND or vectorized. Every backend is "
+                        "numerically interchangeable")
 
 
 def _add_array_args(p: argparse.ArgumentParser) -> None:
@@ -512,6 +513,24 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_backends(_args: argparse.Namespace) -> int:
+    from repro.array import available_arrays, default_array_name, get_array
+    from repro.backend import (available_backends, default_backend_name,
+                               get_backend)
+    active = default_backend_name()
+    _echo("compute backends (REPRO_BACKEND / --backend):")
+    for name in available_backends():
+        marker = "*" if name == active else " "
+        _echo(f"{marker} {name:<12} {get_backend(name).status()}")
+    active_array = default_array_name()
+    _echo("array backends (REPRO_ARRAY / --array):")
+    for name in available_arrays():
+        marker = "*" if name == active_array else " "
+        get_array(name)                      # import-checks the family
+        _echo(f"{marker} {name:<12} available")
+    return 0
+
+
 def _cmd_info(_args: argparse.Namespace) -> int:
     import numpy
     import scipy
@@ -552,6 +571,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_overhead(sub)
     _add_obs(sub)
     sub.add_parser("info", help="library and environment information")
+    sub.add_parser("backends",
+                   help="list compute/array backends with availability")
 
     args = parser.parse_args(argv)
     backend = getattr(args, "backend", None)
@@ -595,6 +616,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "overhead": _cmd_overhead,
         "obs": _cmd_obs,
         "info": _cmd_info,
+        "backends": _cmd_backends,
     }
     return handlers[args.command](args)
 

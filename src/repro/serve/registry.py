@@ -27,7 +27,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
-from repro.backend import default_backend_name
+from repro.backend import get_backend
 from repro.cache import CacheStore, active_store, digest_array, digest_arrays
 from repro.cache.keys import stage_key
 from repro.core.pipeline import Deployer
@@ -75,9 +75,11 @@ def serve_program_key(deployer: Deployer, deployer_seed: SeedLike,
     it), the device physics, the array family's declared capability
     dict and the scenario-stack parameters (the HAL inputs — two runs
     share programmed state only when the array would reproduce it),
-    all deployment config fields, the kernel backend, and the seeds of
-    both the deployer's preparation stream and the programming cycle
-    itself.
+    all deployment config fields, the kernel backend's numeric
+    equivalence class (:attr:`KernelBackend.cache_tag` — ``accel`` and
+    ``vectorized`` produce bitwise-identical programmed state, so they
+    share artifacts and warm-start each other), and the seeds of both
+    the deployer's preparation stream and the programming cycle itself.
     """
     cfg = deployer.config
     components: Dict[str, Any] = dict(device_key_components(deployer.device))
@@ -99,7 +101,7 @@ def serve_program_key(deployer: Deployer, deployer_seed: SeedLike,
         bn_recalibrate=cfg.bn_recalibrate,
         saf_rates=cfg.saf_rates,
         pwt=dataclasses.asdict(cfg.pwt),
-        backend=default_backend_name(),
+        backend=get_backend().cache_tag,
         deployer_seed=_seed_components(deployer_seed),
         program_seed=_seed_components(program_seed))
     return stage_key("serve_program", **components)

@@ -1,0 +1,171 @@
+"""The accel backend: packed operands, offload tiers, fallback rules.
+
+Numerical interchangeability with ``reference`` is covered by the
+shared sweep in ``test_equivalence.py`` (accel participates like any
+registered backend); this module pins down what is *specific* to accel:
+the single-GEMM packed ideal-ADC reformulation, the chunked finite-ADC
+bit-plane stacking, the ``REPRO_ACCEL`` tier resolution (including the
+warn-once fallback when a requested library is missing), and the
+serve-cache equivalence tag it shares with ``vectorized``.
+"""
+
+import logging
+
+import numpy as np
+import pytest
+
+import repro.backend.accel as accel_mod
+from repro.backend import get_backend
+from repro.backend.accel import (AccelBackend, requested_offload_tier,
+                                 reset_offload_cache, resolve_offload_tier)
+from repro.device.cell import MLC2, SLC
+from repro.utils.rng import make_rng
+from repro.xbar.adc import ADC
+
+from tests.backend.test_equivalence import build_engine
+
+#: Offload tiers exercisable here: blas always, numba/torch when importable.
+AVAILABLE_TIERS = ["blas"] + [t for t in ("numba", "torch")
+                              if accel_mod._importable(t)]
+
+
+@pytest.fixture(autouse=True)
+def clean_tier(monkeypatch):
+    """Isolate every test from the ambient REPRO_ACCEL and the cached
+    tier resolution."""
+    monkeypatch.delenv(accel_mod.ENV_VAR, raising=False)
+    reset_offload_cache()
+    yield
+    reset_offload_cache()
+
+
+class TestTierResolution:
+    def test_default_is_auto(self):
+        assert requested_offload_tier() == "auto"
+
+    def test_unknown_tier_raises_listing_values(self, monkeypatch):
+        monkeypatch.setenv(accel_mod.ENV_VAR, "cuda")
+        with pytest.raises(ValueError) as excinfo:
+            requested_offload_tier()
+        message = str(excinfo.value)
+        assert "cuda" in message
+        for tier in accel_mod.OFFLOAD_TIERS:
+            assert tier in message
+
+    def test_blas_always_resolves(self, monkeypatch):
+        monkeypatch.setenv(accel_mod.ENV_VAR, "blas")
+        assert resolve_offload_tier() == "blas"
+
+    def test_auto_resolves_silently(self, caplog):
+        with caplog.at_level(logging.WARNING,
+                             logger="repro.backend.accel"):
+            tier = resolve_offload_tier()
+        assert tier in ("blas", "numba", "torch")
+        assert not caplog.records
+
+    @pytest.mark.parametrize("library", ["numba", "torch"])
+    def test_missing_library_falls_back_with_single_warning(
+            self, monkeypatch, caplog, library):
+        if accel_mod._importable(library):
+            pytest.skip(f"{library} is importable in this environment")
+        monkeypatch.setenv(accel_mod.ENV_VAR, library)
+        engine = build_engine(16, 3, 8, SLC, seed=1, backend="accel")
+        x = make_rng(2).uniform(0, 1, size=(4, 16))
+        with caplog.at_level(logging.WARNING,
+                             logger="repro.backend.accel"):
+            for _ in range(3):                  # no per-call spam
+                engine.forward(x)
+            assert resolve_offload_tier() == "blas"
+        warnings = [r for r in caplog.records
+                    if r.levelno == logging.WARNING]
+        assert len(warnings) == 1
+        assert library in warnings[0].getMessage()
+
+    def test_status_reports_tier(self, monkeypatch):
+        monkeypatch.setenv(accel_mod.ENV_VAR, "blas")
+        backend = get_backend("accel")
+        assert backend.status() == "available (BLAS fallback)"
+
+
+class TestPackedOperands:
+    def test_packed_ideal_weights_reproduce_engine_output(self):
+        """One GEMM against the packed matrix equals the full ideal-ADC
+        engine_vmm (analog + offset + complement + zero-point)."""
+        engine = build_engine(13, 5, 8, MLC2, seed=5, complemented=True,
+                              backend="accel")
+        op = engine._operands
+        xq = make_rng(6).integers(0, 256, size=(7, 13))
+        expected = get_backend("vectorized").engine_vmm(xq, op)
+        packed = xq.astype(np.float64) @ op.packed_ideal_weights
+        np.testing.assert_allclose(packed, expected, rtol=1e-9, atol=1e-9)
+
+    def test_packed_operands_are_cached(self):
+        engine = build_engine(16, 4, 8, SLC, seed=7, backend="accel")
+        op = engine._operands
+        assert op.packed_ideal_weights is op.packed_ideal_weights
+        assert op.cells_packed is op.cells_packed
+        assert op.bit_weights is op.bit_weights
+
+    def test_grouped_bit_planes_layout(self):
+        engine = build_engine(13, 3, 8, SLC, seed=8, backend="accel")
+        op = engine._operands
+        xq = make_rng(9).integers(0, 256, size=(4, 13))
+        stacked = op.grouped_bit_planes(xq)
+        assert stacked.shape == (op.n_groups, op.input_bits * 4,
+                                 op.granularity)
+        # Plane b of sample n sits at stacked row b*N + n of its group.
+        for bit in (0, 3, 7):
+            plane = (xq >> bit) & 1
+            grouped = op.grouped_inputs(plane.astype(np.float64))
+            for g in range(op.n_groups):
+                np.testing.assert_array_equal(
+                    stacked[g, bit * 4:(bit + 1) * 4], grouped[:, g])
+
+    def test_finite_adc_chunking_is_invisible(self, monkeypatch):
+        """Shrinking the byte budget to force many chunks must not
+        change a single output bit."""
+        adc = ADC(bits=6, full_scale=64.0)
+        engine = build_engine(16, 5, 8, MLC2, seed=10, adc=adc,
+                              complemented=True, backend="accel")
+        x = make_rng(11).uniform(0, 1, size=(9, 16))
+        unchunked = engine.forward(x)
+        monkeypatch.setattr(accel_mod, "PACKED_BYTES_LIMIT", 1)
+        assert accel_mod._finite_chunk_rows(engine._operands) == 1
+        np.testing.assert_array_equal(engine.forward(x), unchunked)
+
+
+class TestOffloadTiers:
+    @pytest.mark.parametrize("tier", AVAILABLE_TIERS)
+    @pytest.mark.parametrize("adc", [None, ADC(bits=6, full_scale=64.0)],
+                             ids=["ideal-adc", "6bit-adc"])
+    def test_every_available_tier_matches_reference(self, monkeypatch,
+                                                    tier, adc):
+        monkeypatch.setenv(accel_mod.ENV_VAR, tier)
+        reset_offload_cache()
+        args = dict(rows=13, cols=5, m=8, cell=MLC2, seed=21, adc=adc,
+                    complemented=True)
+        ref = build_engine(backend="reference", **args)
+        alt = build_engine(backend="accel", **args)
+        assert get_backend("accel").offload_tier() == tier
+        x = make_rng(22).uniform(0, 1, size=(6, 13))
+        np.testing.assert_allclose(alt.forward(x), ref.forward(x),
+                                   rtol=1e-9, atol=1e-9)
+
+
+class TestCacheTag:
+    def test_accel_shares_vectorized_equivalence_class(self):
+        assert AccelBackend.cache_tag == "vectorized"
+        assert get_backend("vectorized").cache_tag == "vectorized"
+        assert get_backend("reference").cache_tag == "reference"
+
+    def test_window_kernels_bitwise_identical_to_vectorized(self):
+        """The property the shared cache_tag rests on: accel inherits
+        vectorized's window kernels unchanged, so the deployed
+        fast-float path is bitwise identical across the two."""
+        x = make_rng(30).normal(size=(2, 3, 9, 7))
+        vec, acc = get_backend("vectorized"), get_backend("accel")
+        ref_cols, _, _ = vec.im2col(x, 3, 3, 1, 1)
+        acc_cols, _, _ = acc.im2col(x, 3, 3, 1, 1)
+        np.testing.assert_array_equal(acc_cols, ref_cols)
+        np.testing.assert_array_equal(acc.pool_windows(x, 2, 2),
+                                      vec.pool_windows(x, 2, 2))

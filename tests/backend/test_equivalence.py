@@ -1,9 +1,10 @@
 """Every backend must reproduce the loop-based reference bit-for-bit.
 
 The ``reference`` backend is the original code moved verbatim and acts
-as the correctness oracle; the sweep below drives both kernel sets over
-dense engines (ideal and finite-resolution ADC, complemented offset
-groups, partial last groups), the conv/pooling window kernels (odd
+as the correctness oracle; the sweep below drives every registered
+backend (``vectorized``, ``accel``, …) over dense engines (ideal and
+finite-resolution ADC, complemented offset groups, partial last
+groups, boolean-masked rows), the conv/pooling window kernels (odd
 shapes, stride, padding) and the tiled multi-crossbar engine, and
 asserts float-rounding-level agreement everywhere.
 """
@@ -75,6 +76,28 @@ class TestEngineVMM:
                                    rtol=1e-9, atol=1e-9)
         x0 = np.zeros((0, 16))
         assert alt.forward(x0).shape == ref.forward(x0).shape == (0, 3)
+
+    @pytest.mark.parametrize("adc", [None, ADC(bits=6, full_scale=64.0)],
+                             ids=["ideal-adc", "6bit-adc"])
+    @pytest.mark.parametrize("backend", OTHER_BACKENDS)
+    def test_boolean_masked_rows(self, backend, adc):
+        """Inactive wordlines (boolean-masked / all-zero rows) must not
+        perturb any backend: zeroed drives still contribute the digital
+        offset of their group exactly like the reference."""
+        rows = 19
+        ref = build_engine(rows, 4, 8, MLC2, seed=7, adc=adc,
+                           complemented=True, backend="reference")
+        alt = build_engine(rows, 4, 8, MLC2, seed=7, adc=adc,
+                           complemented=True, backend=backend)
+        x = make_rng(8).uniform(0, 1, size=(5, rows))
+        mask = make_rng(9).random(rows) > 0.5
+        x[:, mask] = 0.0
+        np.testing.assert_allclose(alt.forward(x), ref.forward(x),
+                                   rtol=1e-9, atol=1e-9)
+        x_all_masked = np.zeros((3, rows))
+        np.testing.assert_allclose(alt.forward(x_all_masked),
+                                   ref.forward(x_all_masked),
+                                   rtol=1e-9, atol=1e-9)
 
 
 class TestWindowKernels:

@@ -23,6 +23,7 @@ class TestRegistry:
     def test_builtins_registered(self):
         names = available_backends()
         assert "reference" in names and "vectorized" in names
+        assert "accel" in names
 
     def test_instances_are_cached(self):
         assert get_backend("reference") is get_backend("reference")
@@ -51,6 +52,16 @@ class TestSelection:
         monkeypatch.setenv(B.ENV_VAR, "reference")
         assert default_backend_name() == "reference"
         assert get_backend().name == "reference"
+
+    def test_unknown_env_var_raises_listing_names(self, monkeypatch):
+        """A typo'd REPRO_BACKEND fails loudly with the valid names."""
+        monkeypatch.setenv(B.ENV_VAR, "warp-drive")
+        with pytest.raises(ValueError) as excinfo:
+            get_backend()
+        message = str(excinfo.value)
+        assert "warp-drive" in message
+        for name in ("accel", "reference", "vectorized"):
+            assert name in message
 
     def test_override_beats_env(self, monkeypatch):
         monkeypatch.setenv(B.ENV_VAR, "reference")

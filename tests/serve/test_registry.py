@@ -48,6 +48,50 @@ class TestKey:
         assert len({a, b, c}) == 3
 
 
+class TestBackendParity:
+    """``--backend accel`` must serve the exact artifacts — and
+    accuracies — the default backend serves."""
+
+    def test_accel_and_vectorized_share_the_key(self, tiny_workload):
+        from repro.backend import use_backend
+
+        d = _deployer(tiny_workload)
+        seed = spawn_seeds(20, 1)[0]
+        with use_backend("vectorized"):
+            key_vec = serve_program_key(d, 10, seed)
+        with use_backend("accel"):
+            key_acc = serve_program_key(d, 10, seed)
+        with use_backend("reference"):
+            key_ref = serve_program_key(d, 10, seed)
+        # accel and vectorized are bitwise-identical on the deployed
+        # fast-float path (same cache_tag) — same key, warm starts
+        # cross over; reference keeps its own artifact space.
+        assert key_acc == key_vec
+        assert key_ref != key_vec
+
+    def test_accel_warm_starts_vectorized_artifact_bitwise(
+            self, tiny_workload, tmp_path):
+        from repro.backend import use_backend
+        from repro.nn.tensor import Tensor
+
+        registry = ModelRegistry(CacheStore(tmp_path / "store"))
+        seed = spawn_seeds(20, 1)[0]
+        with use_backend("vectorized"):
+            model, key, warm = registry.get_or_program(
+                _deployer(tiny_workload), 10, seed)
+            assert not warm
+            acc_vec = evaluate_accuracy(model, tiny_workload.test)
+        with use_backend("accel"):
+            model2, key2, warm2 = registry.get_or_program(
+                _deployer(tiny_workload), 10, seed)
+            assert warm2 and key2 == key
+            acc_accel = evaluate_accuracy(model2, tiny_workload.test)
+            x = tiny_workload.test.images[:4]
+            outputs_accel = model2(Tensor(x)).data
+        assert acc_accel == acc_vec
+        assert np.array_equal(outputs_accel, model(Tensor(x)).data)
+
+
 class TestRoundTrip:
     def test_store_then_load_bitwise(self, tiny_workload, tmp_path):
         registry = ModelRegistry(CacheStore(tmp_path / "store"))

@@ -22,6 +22,33 @@ class TestParsing:
         out = capsys.readouterr().out
         assert "area" in out
 
+    def test_backends_listing(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "compute backends" in out and "array backends" in out
+        for name in ("accel", "reference", "vectorized", "sim"):
+            assert name in out
+        # The always-available default is marked active; accel reports
+        # its resolved offload tier.
+        assert "* vectorized" in out
+        assert "accel" in out and "available (" in out
+
+    def test_backend_flag_accepts_accel(self, capsys, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        try:
+            with pytest.raises(SystemExit):  # bad name still dies at parse
+                main(["deploy", "--backend", "warp-drive"])
+            assert main(["experiment", "--name", "table2",
+                         "--backend", "accel"]) == 0
+            assert os.environ.get("REPRO_BACKEND") == "accel"
+        finally:
+            # main() exports --backend through the environment; undo it
+            # so later tests see the ambient default again.
+            os.environ.pop("REPRO_BACKEND", None)
+        capsys.readouterr()
+
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
             main([])

@@ -10,12 +10,14 @@ from tools.bench_diff import (HISTORY_SCHEMA, SIDECAR_SCHEMA, compare,
 
 
 def write_sidecar(directory, name, elapsed_s, schema=SIDECAR_SCHEMA,
-                  backend=None):
+                  backend=None, offload_tier=None):
     directory.mkdir(parents=True, exist_ok=True)
     payload = {"schema": schema, "name": name, "preset": "quick",
                "elapsed_s": elapsed_s}
     if backend is not None:
         payload["backend"] = backend
+    if offload_tier is not None:
+        payload["offload_tier"] = offload_tier
     (directory / f"{name}.json").write_text(json.dumps(payload))
 
 
@@ -97,6 +99,38 @@ class TestBackendGating:
                       backend="reference")
         assert gate(tmp_path) == 0
         assert "backend-skip" in capsys.readouterr().out
+
+    def test_offload_tier_mismatch_never_regresses(self, tmp_path):
+        # A numba-accelerated baseline must not gate a BLAS-only run
+        # (different environments, not a regression).
+        write_sidecar(tmp_path / "base", "fig5a", 10.0,
+                      backend="accel", offload_tier="numba")
+        write_sidecar(tmp_path / "cur", "fig5a", 50.0,
+                      backend="accel", offload_tier="blas")
+        comps = compare(load_sidecars(tmp_path / "base"),
+                        load_sidecars(tmp_path / "cur"),
+                        max_slowdown=1.5, min_baseline_s=2.0)
+        assert comps[0].skipped_backend and not comps[0].regressed
+
+    def test_same_offload_tier_still_gates(self, tmp_path):
+        write_sidecar(tmp_path / "base", "fig5a", 10.0,
+                      backend="accel", offload_tier="blas")
+        write_sidecar(tmp_path / "cur", "fig5a", 50.0,
+                      backend="accel", offload_tier="blas")
+        comps = compare(load_sidecars(tmp_path / "base"),
+                        load_sidecars(tmp_path / "cur"),
+                        max_slowdown=1.5, min_baseline_s=2.0)
+        assert not comps[0].skipped_backend and comps[0].regressed
+
+    def test_untiered_sidecars_compare_with_tiered(self, tmp_path):
+        # Pre-upgrade sidecars lack offload_tier; they keep gating.
+        write_sidecar(tmp_path / "base", "fig5a", 10.0, backend="accel")
+        write_sidecar(tmp_path / "cur", "fig5a", 50.0,
+                      backend="accel", offload_tier="blas")
+        comps = compare(load_sidecars(tmp_path / "base"),
+                        load_sidecars(tmp_path / "cur"),
+                        max_slowdown=1.5, min_baseline_s=2.0)
+        assert not comps[0].skipped_backend and comps[0].regressed
 
 
 class TestGate:
